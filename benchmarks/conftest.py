@@ -1,0 +1,52 @@
+"""Shared fixtures for the figure-regeneration benches.
+
+Each bench regenerates one paper artefact (table/figure) on a reduced but
+representative grid, times the harness with pytest-benchmark, writes the
+rendered rows to ``benchmarks/results/`` and asserts the paper's
+qualitative shape.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.experiments import run_fig5, run_fig6
+from repro.bench.runner import get_setup
+from repro.units import MiB
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Reduced grids: representative sizes, low iteration counts.
+BENCH_SIZES = [2 * MiB, 8 * MiB, 32 * MiB, 128 * MiB, 512 * MiB]
+BENCH_KW = dict(iterations=2, warmup=1, grid_steps=4, chunk_menu=(1, 8))
+
+
+def write_result(name: str, text: str) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text)
+    return path
+
+
+@pytest.fixture(scope="session")
+def beluga_setup():
+    return get_setup("beluga")
+
+
+@pytest.fixture(scope="session")
+def narval_setup():
+    return get_setup("narval")
+
+
+@pytest.fixture(scope="session")
+def fig5_table():
+    return run_fig5(("beluga", "narval"), sizes=BENCH_SIZES, windows=(1, 16), **BENCH_KW)
+
+
+@pytest.fixture(scope="session")
+def fig6_table():
+    return run_fig6(("beluga", "narval"), sizes=BENCH_SIZES, windows=(1, 16), **BENCH_KW)

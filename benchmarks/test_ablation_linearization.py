@@ -1,0 +1,81 @@
+"""Ablation: the φ linearisation vs the exact numerical optimiser.
+
+DESIGN.md calls out the linearisation (Eqs. 19–22) as the design choice
+that keeps Algorithm 1 closed-form; this bench quantifies what it costs in
+solution quality and what the exact solver costs in time.
+"""
+
+import numpy as np
+from conftest import write_result
+
+from repro.bench.runner import get_setup
+from repro.core.numerical import exact_path_time, solve_exact_fractions
+from repro.core.planner import PathPlanner
+from repro.topology.routing import enumerate_paths
+from repro.units import MiB
+from repro.util.tables import Table
+
+SIZES = [4 * MiB, 16 * MiB, 64 * MiB, 256 * MiB]
+
+
+def _quality(setup, phi_mode):
+    """Completion time of the planner's θ, evaluated under the exact
+    nonlinear model, relative to the exact optimum."""
+    planner = PathPlanner(setup.topology, setup.store, phi_mode=phi_mode)
+    paths = enumerate_paths(setup.topology, 0, 1, include_host=False)
+    params = [setup.store.path_params(p) for p in paths]
+    rows = []
+    for n in SIZES:
+        plan = planner.plan(0, 1, n, include_host=False, use_cache=False)
+        t_plan = max(
+            exact_path_time(q, a.theta, n)
+            for q, a in zip(params, plan.assignments)
+        )
+        exact = solve_exact_fractions(params, n)
+        rows.append((n // MiB, t_plan / exact.time))
+    return rows
+
+
+def test_linearization_quality_per_size(benchmark, beluga_setup):
+    rows = benchmark.pedantic(
+        lambda: _quality(beluga_setup, "per-size"), rounds=1, iterations=1
+    )
+    table = Table(["size_mib", "ratio_vs_exact"], title="phi per-size vs exact")
+    for size, ratio in rows:
+        table.add(size_mib=size, ratio_vs_exact=ratio)
+    write_result("ablation_linearization_per_size.txt", table.render())
+    # per-size anchoring stays within a few % of the exact optimum
+    assert all(ratio < 1.08 for _, ratio in rows)
+
+
+def test_linearization_quality_global_phi(benchmark, beluga_setup):
+    rows = benchmark.pedantic(
+        lambda: _quality(beluga_setup, "calibrated"), rounds=1, iterations=1
+    )
+    table = Table(["size_mib", "ratio_vs_exact"], title="global phi vs exact")
+    for size, ratio in rows:
+        table.add(size_mib=size, ratio_vs_exact=ratio)
+    write_result("ablation_linearization_global.txt", table.render())
+    # the single global constant is systematically worse at the far end of
+    # the size window than the per-size form
+    per_size = dict(_quality(beluga_setup, "per-size"))
+    worst_global = max(r for _, r in rows)
+    worst_per_size = max(per_size.values())
+    assert worst_global >= worst_per_size - 1e-9
+
+
+def test_exact_solver_cost(benchmark, beluga_setup):
+    """The runtime argument for the closed form: SLSQP is orders of
+    magnitude slower than Algorithm 1."""
+    paths = enumerate_paths(beluga_setup.topology, 0, 1, include_host=False)
+    params = [beluga_setup.store.path_params(p) for p in paths]
+
+    benchmark(lambda: solve_exact_fractions(params, 64 * MiB))
+    planner = PathPlanner(beluga_setup.topology, beluga_setup.store)
+    import time
+
+    t0 = time.perf_counter()
+    for _ in range(100):
+        planner.plan(0, 1, 64 * MiB, include_host=False, use_cache=False)
+    closed_form = (time.perf_counter() - t0) / 100
+    assert benchmark.stats.stats.mean > 3 * closed_form

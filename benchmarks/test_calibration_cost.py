@@ -1,0 +1,35 @@
+"""Offline-step bench: the once-per-topology calibration cost (Fig. 2a
+Step 1) and the accuracy it delivers."""
+
+from conftest import write_result
+
+from repro.bench.calibrate import calibrate
+from repro.core.params import ParameterStore
+from repro.topology import systems
+from repro.util.tables import Table
+
+
+def test_calibration_cost_and_accuracy(benchmark):
+    topo = systems.beluga()
+    store = benchmark.pedantic(lambda: calibrate(topo), rounds=1, iterations=1)
+
+    truth = ParameterStore.ground_truth(topo)
+    table = Table(
+        ["hop", "alpha_err_pct", "beta_err_pct", "r_squared"],
+        title="noise-free calibration accuracy (beluga)",
+    )
+    worst_beta_err = 0.0
+    for hop in [topo.direct_hop(0, 1), topo.host_hops(0, 1)[0]]:
+        est = store.link(hop)
+        exact = truth.link(hop)
+        a_err = abs(est.alpha - exact.alpha) / max(exact.alpha, 1e-12) * 100
+        b_err = abs(est.beta - exact.beta) / exact.beta * 100
+        worst_beta_err = max(worst_beta_err, b_err)
+        table.add(
+            hop="+".join(hop),
+            alpha_err_pct=a_err,
+            beta_err_pct=b_err,
+            r_squared=est.r_squared,
+        )
+    write_result("calibration_accuracy.txt", table.render())
+    assert worst_beta_err < 0.1  # noise-free regression is essentially exact

@@ -1,0 +1,55 @@
+"""Extension bench — analytic collective model vs simulated collectives.
+
+The paper measures Fig. 7 and defers collective *modelling* to future
+work; this bench validates our extension: predicted speedups must land in
+the measured band and rank the collectives correctly.
+"""
+
+from conftest import BENCH_KW, write_result
+
+from repro.bench.baselines import dynamic_config
+from repro.bench.collectives import COLLECTIVES
+from repro.bench.omb import osu_collective_latency
+from repro.core.collective_model import CollectiveModel
+from repro.core.planner import PathPlanner
+from repro.units import MiB
+from repro.util.tables import Table
+
+SIZES = [8 * MiB, 32 * MiB]
+
+
+def test_collective_model_vs_simulation(benchmark, beluga_setup):
+    planner = PathPlanner(beluga_setup.topology, beluga_setup.store)
+    model = CollectiveModel(planner, include_host=False)
+
+    def run():
+        table = Table(
+            ["collective", "size_mib", "predicted_us", "measured_us",
+             "predicted_speedup"],
+            title="collective model vs simulation (beluga, 4 ranks)",
+        )
+        env = beluga_setup.env(dynamic_config(include_host=False))
+        for name in ("alltoall", "allreduce"):
+            for n in SIZES:
+                pred = model._predict(name, 4, n)
+                measured = osu_collective_latency(
+                    env, COLLECTIVES[name], n, iterations=2
+                ).latency
+                table.add(
+                    collective=name,
+                    size_mib=n // MiB,
+                    predicted_us=pred.total * 1e6,
+                    measured_us=measured * 1e6,
+                    predicted_speedup=model.speedup_over_single_path(name, 4, n),
+                )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result("collective_model.txt", table.render())
+
+    for r in table:
+        # predicted latency within 40% of simulation
+        ratio = r["predicted_us"] / r["measured_us"]
+        assert 0.6 < ratio < 1.4
+        # predicted speedups in the paper's collective band
+        assert 1.1 < r["predicted_speedup"] < 2.0

@@ -1,0 +1,28 @@
+"""CONC bench — concurrent multi-pair transfers (paper §3 loaded case)."""
+
+from conftest import write_result
+
+from repro.bench.experiments.concurrent_pairs import run_concurrent_pairs
+from repro.units import MiB
+
+
+def test_concurrent_pairs(benchmark):
+    table = benchmark.pedantic(
+        lambda: run_concurrent_pairs(
+            ("beluga", "narval"), sizes=[64 * MiB, 256 * MiB]
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("concurrent_pairs.txt", table.render())
+
+    by = {(r["system"], r["pattern"], r["size_mib"]): r for r in table}
+    for system in ("beluga", "narval"):
+        # isolated pair gains the most; loaded patterns keep partial gains;
+        # the saturated all-to-one pattern gains nothing.
+        single = by[(system, "single_pair", 256)]["speedup"]
+        ring = by[(system, "ring", 256)]["speedup"]
+        all_one = by[(system, "all_to_one", 256)]["speedup"]
+        assert single > ring > all_one
+        assert ring > 1.2
+        assert all_one < 1.1

@@ -1,0 +1,40 @@
+"""TAB-ERR + SPEEDUP benches — the §5 headline aggregates."""
+
+import numpy as np
+from conftest import write_result
+
+from repro.bench.experiments import headline_speedups, prediction_error_table
+from repro.bench.experiments.error_analysis import overall_mean_error
+
+
+def test_prediction_error_bw(benchmark, fig5_table):
+    err = benchmark(lambda: prediction_error_table(fig5_table))
+    write_result("tab_err_bw.txt", err.render())
+    # Paper: <6 % mean error for >4 MB unidirectional.  Our non-host panels
+    # sit comfortably inside that; host panels inflate it (Obs 3), so the
+    # all-configuration aggregate gets a wider band.
+    non_host = err.select(
+        lambda r: r["paths"] != "3_GPUs_w_host" and r["threshold_mib"] == 8
+    )
+    mean_nonhost = float(np.mean([r["mean_error_pct"] for r in non_host]))
+    assert mean_nonhost < 6.0
+    assert overall_mean_error(err, threshold_mib=4) < 25.0
+
+
+def test_prediction_error_bibw(benchmark, fig6_table):
+    err = benchmark(lambda: prediction_error_table(fig6_table))
+    write_result("tab_err_bibw.txt", err.render())
+    non_host = err.select(
+        lambda r: r["paths"] != "3_GPUs_w_host" and r["threshold_mib"] == 8
+    )
+    mean_nonhost = float(np.mean([r["mean_error_pct"] for r in non_host]))
+    # Paper: ~8 % for non-host BIBW — higher than BW. Allow a wide band.
+    assert mean_nonhost < 12.0
+
+
+def test_headline_speedups(benchmark, fig5_table):
+    speedups = benchmark(lambda: headline_speedups(fig5_table))
+    write_result("headline_speedups.txt", speedups.render())
+    best = max(r["best_speedup"] for r in speedups)
+    # Paper: up to 2.9x over single path.
+    assert 2.5 < best < 3.3

@@ -1,0 +1,25 @@
+"""FIG4 bench — regenerates the θ-distribution figure (paper Fig. 4)."""
+
+from conftest import write_result
+
+from repro.bench.experiments import run_fig4
+from repro.bench.report import render_fig4
+from repro.bench.runner import default_sizes
+
+
+def test_fig4_theta_distribution(benchmark, beluga_setup):
+    table = benchmark(
+        lambda: run_fig4("beluga", sizes=default_sizes(), setup=beluga_setup)
+    )
+    write_result("fig4_theta.txt", table.render() + "\n\n" + render_fig4(table))
+
+    # Paper shape checks: fractions form a simplex, the direct path's share
+    # decreases with message size as staged paths absorb more data, and the
+    # host-staged path (panel c) carries the smallest share.
+    for (_, _, size), group in table.groupby("paths", "size_mib", "size_mib").items():
+        assert abs(sum(r["theta"] for r in group) - 1.0) < 1e-6
+    panel = table.where(paths="3_GPUs_w_host")
+    big = {r["path_id"]: r["theta"] for r in panel if r["size_mib"] == 512}
+    small = {r["path_id"]: r["theta"] for r in panel if r["size_mib"] == 2}
+    assert big["direct"] < small["direct"]
+    assert big["host"] == min(big.values())

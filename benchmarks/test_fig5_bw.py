@@ -1,0 +1,49 @@
+"""FIG5 bench — regenerates the unidirectional bandwidth grid (Fig. 5)."""
+
+from conftest import BENCH_KW, BENCH_SIZES, write_result
+
+from repro.bench.experiments import run_fig5
+from repro.bench.report import render_fig5
+
+
+def test_fig5_beluga(benchmark):
+    table = benchmark.pedantic(
+        lambda: run_fig5(("beluga",), sizes=BENCH_SIZES, windows=(1, 16), **BENCH_KW),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("fig5_beluga.txt", table.render() + "\n\n" + render_fig5(table))
+    _check_shape(table, direct_cap_gbps=46.5)
+
+
+def test_fig5_narval(benchmark):
+    table = benchmark.pedantic(
+        lambda: run_fig5(("narval",), sizes=BENCH_SIZES, windows=(1, 16), **BENCH_KW),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("fig5_narval.txt", table.render() + "\n\n" + render_fig5(table))
+    _check_shape(table, direct_cap_gbps=93.0)
+
+
+def _check_shape(table, direct_cap_gbps):
+    for r in table:
+        # the direct baseline never exceeds the link's capacity
+        assert r["direct_gbps"] <= direct_cap_gbps
+        # multi-path dominates the single path at large sizes (who wins)
+        if r["size_mib"] >= 128:
+            assert r["dynamic_gbps"] > 1.5 * r["direct_gbps"]
+            assert r["static_gbps"] > r["direct_gbps"]
+    # curve shape: the multi-path gain grows with message size (fixed
+    # per-path costs amortise), and the model's over-estimation shrinks.
+    for (paths, window), group in table.groupby("paths", "window").items():
+        by_size = {r["size_mib"]: r for r in group}
+        small, large = by_size[2], by_size[512]
+        gain_small = small["dynamic_gbps"] / small["direct_gbps"]
+        gain_large = large["dynamic_gbps"] / large["direct_gbps"]
+        assert gain_large > gain_small
+        if paths == "3_GPUs_w_host":
+            continue  # host panels carry the Obs-3 error instead
+        err_small = small["predicted_gbps"] / max(small["dynamic_gbps"], 1e-9)
+        err_large = large["predicted_gbps"] / max(large["dynamic_gbps"], 1e-9)
+        assert err_large <= err_small + 1e-9

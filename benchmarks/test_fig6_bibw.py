@@ -1,0 +1,25 @@
+"""FIG6 bench — regenerates the bidirectional bandwidth grid (Fig. 6)."""
+
+from conftest import BENCH_KW, BENCH_SIZES, write_result
+
+from repro.bench.experiments import run_fig6
+from repro.bench.report import render_fig6
+
+
+def test_fig6_bibw(benchmark, fig6_table):
+    # The session fixture already ran the sweep; benchmark the render +
+    # re-aggregation path and emit the artefact.
+    table = fig6_table
+    text = benchmark(lambda: table.render() + "\n\n" + render_fig6(table))
+    write_result("fig6_bibw.txt", text)
+
+    for system in ("beluga", "narval"):
+        rows = table.where(system=system, window=16, size_mib=512)
+        nohost = rows.where(paths="3_GPUs").rows[0]
+        host = rows.where(paths="3_GPUs_w_host").rows[0]
+        # Obs 5: enabling the host path does not help BIBW (contention).
+        assert host["dynamic_gbps"] <= nohost["dynamic_gbps"] * 1.02
+        # BIBW multi-path still beats the direct baseline by a wide margin.
+        assert nohost["dynamic_gbps"] > 1.5 * nohost["direct_gbps"]
+        # The model (assuming duplex symmetry) overshoots on host panels.
+        assert host["predicted_gbps"] >= host["dynamic_gbps"]

@@ -1,0 +1,37 @@
+"""FIG7 bench — regenerates the collective speedup panels (Fig. 7)."""
+
+from conftest import BENCH_KW, write_result
+
+from repro.bench.experiments import run_fig7
+from repro.bench.report import render_fig7
+from repro.units import MiB
+
+SIZES = [4 * MiB, 16 * MiB, 64 * MiB]
+
+
+def test_fig7_collective_speedups(benchmark):
+    table = benchmark.pedantic(
+        lambda: run_fig7(("beluga", "narval"), sizes=SIZES, **BENCH_KW),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("fig7_collectives.txt", table.render() + "\n\n" + render_fig7(table))
+
+    # Paper shape: multi-path speeds up both collectives...
+    large = [r for r in table if r["size_mib"] >= 16]
+    assert all(r["dynamic_speedup"] > 1.0 for r in large)
+    # ...by up to ~1.4x — far less than the 2.9x P2P gain, because each
+    # collective step moves smaller messages and Allreduce adds compute.
+    best = max(r["dynamic_speedup"] for r in table)
+    assert 1.1 < best < 2.2
+    # Obs 3 (§5.3): Alltoall gains at least as much as Allreduce.
+    for system in ("beluga", "narval"):
+        a2a = max(
+            r["dynamic_speedup"]
+            for r in table.where(system=system, collective="alltoall")
+        )
+        ar = max(
+            r["dynamic_speedup"]
+            for r in table.where(system=system, collective="allreduce")
+        )
+        assert a2a >= ar * 0.95

@@ -1,0 +1,14 @@
+"""OBS1-5 bench — evaluates the paper's five observations on fresh grids."""
+
+from conftest import write_result
+
+from repro.bench.experiments import check_observations
+
+
+def test_observations_hold(benchmark, fig5_table, fig6_table):
+    results = benchmark(lambda: check_observations(fig5_table, fig6_table))
+    write_result(
+        "observations.txt", "\n".join(str(r) for r in results) + "\n"
+    )
+    failed = [r for r in results if not r.holds]
+    assert not failed, "\n".join(str(r) for r in failed)

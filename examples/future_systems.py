@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Future-work systems: NVSwitch DGX and an AMD xGMI ring.
+
+The paper's conclusion defers NVSwitch-based systems and AMD GPUs to future
+work.  Both are built here as topologies, and the model + simulator show
+*why* they behave differently:
+
+* on an NVSwitch node every GPU pair shares the same per-GPU switch ports,
+  so "staged" detours steal bandwidth from the direct path — multi-path
+  brings little;
+* on an xGMI ring, non-adjacent GPUs have *no* direct link: the staged
+  paths are not an optimisation but the only option, and the model load-
+  balances across the two ring directions.
+
+Run:  python examples/future_systems.py
+"""
+
+from repro.bench.baselines import direct_config, dynamic_config
+from repro.bench.env import BenchEnvironment
+from repro.bench.omb import osu_bw
+from repro.core.contention import ContentionAwareModel
+from repro.core.planner import PathPlanner
+from repro.topology import systems
+from repro.units import MiB, format_bandwidth
+
+
+def measure(topo, cfg, n, src=0, dst=1):
+    env = BenchEnvironment(topo, config=cfg)
+    return osu_bw(env, n, iterations=2, src=src, dst=dst).bandwidth
+
+
+def main() -> None:
+    n = 256 * MiB
+
+    print("=== NVSwitch DGX (shared switch ports) ===")
+    dgx = systems.dgx_nvswitch(8)
+    single = measure(dgx, direct_config(), n)
+    multi = measure(dgx, dynamic_config(include_host=False), n)
+    print(f"direct:     {format_bandwidth(single)}")
+    print(f"multi-path: {format_bandwidth(multi)} "
+          f"({multi / single:.2f}x — staged detours share the same ports)")
+    plan = PathPlanner(dgx).plan(0, 1, n, include_host=False)
+    print(f"naive model's verdict (WRONG: it assumes private links): "
+          f"{format_bandwidth(plan.predicted_bandwidth)}")
+    contention = ContentionAwareModel(dgx)
+    sol = contention.solve(0, 1, include_host=False)
+    print(f"contention-aware (MaxRate) verdict: {sol.describe()}")
+    print(f"multipath worthwhile? "
+          f"{contention.multipath_worthwhile(0, 1, include_host=False)}")
+    print()
+
+    print("=== MI250-like xGMI ring (no direct link for 0<->2) ===")
+    ring = systems.mi250_node()
+    plan = PathPlanner(ring).plan(0, 2, n, include_host=False)
+    print(plan.describe())
+    multi = measure(ring, dynamic_config(include_host=False), n, src=0, dst=2)
+    print(f"staged-only multi-path 0->2: {format_bandwidth(multi)}")
+    adjacent = measure(ring, direct_config(), n, src=0, dst=1)
+    print(f"adjacent direct 0->1:        {format_bandwidth(adjacent)}")
+    print("balancing over the ring's two directions gives the non-adjacent")
+    print("pair nearly the sum of both links — more than one direct link.")
+
+
+if __name__ == "__main__":
+    main()

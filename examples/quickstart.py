@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: plan and execute one multi-path GPU-to-GPU transfer.
+
+Builds the paper's Beluga node (4x V100, 2x NVLink2 per pair), calibrates
+the model from simulated measurements, plans a 64 MiB transfer between
+GPU 0 and GPU 1, and compares three executions on the simulator:
+
+* the single direct NVLink (the MPI+UCX default),
+* the model-driven multi-path configuration (this paper),
+* the model's analytical prediction.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.bench.calibrate import calibrate
+from repro.bench.env import BenchEnvironment, default_jitter_factory
+from repro.bench.baselines import direct_config, dynamic_config
+from repro.bench.omb import osu_bw
+from repro.core.planner import PathPlanner
+from repro.topology import systems
+from repro.units import MiB, format_bandwidth, format_time
+
+
+def main() -> None:
+    topo = systems.beluga()
+    print(topo.describe())
+    print()
+
+    # Step 1 (paper Fig. 2a): extract model parameters by measurement.
+    jitter = default_jitter_factory(seed=0, sigma=0.0)
+    store = calibrate(topo, jitter_factory=jitter)
+    print("calibrated direct link:", store.link(topo.direct_hop(0, 1)))
+    print(f"epsilon gpu={store.epsilon('gpu') * 1e6:.1f}us "
+          f"host={store.epsilon('host') * 1e6:.1f}us")
+    print()
+
+    # Steps 3-4: plan a transfer.
+    n = 64 * MiB
+    planner = PathPlanner(topo, store)
+    plan = planner.plan(0, 1, n)
+    print(plan.describe())
+    print()
+
+    # Step 5: execute on the simulated node, against the direct baseline.
+    env = BenchEnvironment(topo, store=store, jitter_factory=jitter)
+    direct = osu_bw(env.with_config(direct_config()), n, iterations=3)
+    multi = osu_bw(env.with_config(dynamic_config()), n, iterations=3)
+
+    print(f"direct path measured:    {format_bandwidth(direct.bandwidth)} "
+          f"({format_time(direct.latency)} per message)")
+    print(f"multi-path measured:     {format_bandwidth(multi.bandwidth)} "
+          f"({format_time(multi.latency)} per message)")
+    print(f"model prediction:        {format_bandwidth(plan.predicted_bandwidth)}")
+    print(f"speedup over direct:     {multi.bandwidth / direct.bandwidth:.2f}x")
+    err = abs(plan.predicted_bandwidth - multi.bandwidth) / multi.bandwidth
+    print(f"prediction error:        {err * 100:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Topology explorer: where does multi-path help, and by how much?
+
+Sweeps synthetic all-to-all nodes over NVLink and PCIe bandwidths and asks
+the analytical model two questions the paper's design hinges on:
+
+1. at what message size does splitting start to pay (the crossover where
+   θ_direct < 1)?
+2. how much does the host-staged path contribute as the PCIe:NVLink ratio
+   changes?
+
+No simulation involved — this is the model used as a design tool.
+
+Run:  python examples/topology_explorer.py
+"""
+
+from repro.core.planner import PathPlanner
+from repro.topology.systems import custom_mesh
+from repro.units import MiB, format_bytes
+from repro.util.tables import Table
+
+
+def crossover_size(planner: PathPlanner, max_mib: int = 1024) -> int | None:
+    """Smallest power-of-two size where the plan uses more than one path."""
+    size = 64 * 1024
+    while size <= max_mib * MiB:
+        plan = planner.plan(0, 1, size, use_cache=False)
+        if plan.num_active_paths > 1:
+            return size
+        size *= 2
+    return None
+
+
+def main() -> None:
+    table = Table(
+        ["nvlink_gbps", "pcie_gbps", "crossover", "theta_direct_64m",
+         "theta_host_64m", "predicted_speedup_256m"],
+        title="model-driven topology exploration (4-GPU all-to-all nodes)",
+    )
+    for nvlink in (25.0, 46.0, 92.0, 150.0):
+        for pcie in (6.0, 11.5, 22.0):
+            topo = custom_mesh(
+                4,
+                nvlink_gbps=nvlink,
+                pcie_gbps=pcie,
+                dram_gbps=2 * pcie + 4.0,
+                name=f"mesh-{nvlink:g}-{pcie:g}",
+            )
+            planner = PathPlanner(topo)
+            plan = planner.plan(0, 1, 64 * MiB)
+            direct_only = planner.plan(0, 1, 256 * MiB, max_gpu_staged=0,
+                                       include_host=False, use_cache=False)
+            multi = planner.plan(0, 1, 256 * MiB, use_cache=False)
+            cross = crossover_size(planner)
+            table.add(
+                nvlink_gbps=nvlink,
+                pcie_gbps=pcie,
+                crossover=format_bytes(cross) if cross else "never",
+                theta_direct_64m=plan.assignment_for("direct").theta,
+                theta_host_64m=plan.assignment_for("host").theta,
+                predicted_speedup_256m=(
+                    direct_only.predicted_time / multi.predicted_time
+                ),
+            )
+    print(table.render())
+    print()
+    print("Reading: faster NVLink pushes the crossover later and shrinks")
+    print("the host path's share; a fat PCIe makes host staging worthwhile.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""repro — reproduction of "Accelerating Intra-Node GPU Communication:
+A Performance Model for Multi-Path Transfers" (SC Workshops '25).
+
+The package layers, bottom-up:
+
+* :mod:`repro.sim` — deterministic discrete-event engine and fair-share
+  bandwidth channels (the hardware stand-in);
+* :mod:`repro.topology` — node descriptions (Beluga, Narval, NVSwitch, ...)
+  and path enumeration (direct / GPU-staged / host-staged);
+* :mod:`repro.gpu` — simulated CUDA-like runtime (devices, streams, events,
+  async copies, IPC handles);
+* :mod:`repro.core` — **the paper's contribution**: the multi-path Hockney
+  model, equal-time optimal fractions, pipelining/chunking model, and the
+  Algorithm-1 runtime planner;
+* :mod:`repro.ucx` — UCX-like transport with the cuda_ipc module and the
+  multi-path pipeline engine;
+* :mod:`repro.mpi` — MPI-like communicator with P2P and collectives
+  (K-nomial Allreduce, Bruck Alltoall) running on the simulator;
+* :mod:`repro.bench` — OSU-style micro-benchmarks, calibration, baselines
+  and the per-figure experiment harness.
+
+Quickstart::
+
+    from repro import systems, plan_transfer
+    from repro.units import MiB
+
+    topo = systems.beluga()
+    plan = plan_transfer(topo, src=0, dst=1, nbytes=64 * MiB)
+    print(plan.describe())
+"""
+
+from repro import units
+from repro.topology import systems
+from repro.core.planner import PathPlanner, plan_transfer
+from repro.core.optimizer import optimal_fractions
+from repro.core.hockney import HockneyModel, MultiPathModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "units",
+    "systems",
+    "PathPlanner",
+    "plan_transfer",
+    "optimal_fractions",
+    "HockneyModel",
+    "MultiPathModel",
+    "__version__",
+]

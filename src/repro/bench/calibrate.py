@@ -1,0 +1,224 @@
+"""Model parameter extraction (paper Fig. 2a, Step 1).
+
+Calibration never reads the simulator's ground-truth channel parameters —
+it *measures*, exactly like the offline step on a real node:
+
+* **(α̂, β̂) per hop** — timed single copies over a size sweep, linear
+  regression ``T = α + n/β`` (slope → 1/β̂, intercept → α̂);
+* **ε̂ per staging kind** — timed unpipelined (k=1) staged transfers minus
+  the two calibrated hop times;
+* **φ̂ per staged path** — least-squares linearisation of the optimal
+  chunk-count curve over the target size window (the paper's
+  topology-specific constants);
+* **launch overhead** — back-to-back zero-byte puts.
+
+The result is a :class:`~repro.core.params.ParameterStore` ready for the
+planner, persistable through :class:`~repro.ucx.registry.ModelRegistry`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.chunking import chunking_ratio, fit_phi
+from repro.core.params import LinkEstimate, ParameterStore
+from repro.gpu.runtime import GPURuntime
+from repro.sim.engine import Engine
+from repro.topology.node import NodeTopology
+from repro.topology.routing import Hop, PathDescriptor, enumerate_paths
+from repro.units import KiB, MiB
+
+DEFAULT_SWEEP = tuple(int(s) for s in (256 * KiB, 1 * MiB, 4 * MiB, 16 * MiB, 64 * MiB))
+DEFAULT_PHI_WINDOW = tuple(int(2**i * MiB) for i in range(1, 10))
+
+
+def _time_hop(
+    topology: NodeTopology, hop: Hop, nbytes: int, jitter_factory=None
+) -> float:
+    """Measure one isolated copy over a hop on a fresh simulator."""
+    engine = Engine()
+    runtime = GPURuntime(engine, topology, jitter_factory=jitter_factory)
+    stream = runtime.create_stream(0)
+    start = engine.now
+    engine.run(until=runtime.copy_on_hop_async(hop, nbytes, stream, tag="cal"))
+    return engine.now - start
+
+
+def fit_hockney(sizes: np.ndarray, times: np.ndarray) -> LinkEstimate:
+    """Least-squares fit of T = α + n/β; returns the estimate with R²."""
+    sizes = np.asarray(sizes, dtype=float)
+    times = np.asarray(times, dtype=float)
+    if sizes.size < 2:
+        raise ValueError("need at least two samples for the regression")
+    slope, intercept = np.polyfit(sizes, times, 1)
+    if slope <= 0:
+        raise ValueError("non-positive fitted slope; sweep too narrow")
+    predicted = intercept + slope * sizes
+    ss_res = float(((times - predicted) ** 2).sum())
+    ss_tot = float(((times - times.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return LinkEstimate(
+        alpha=max(float(intercept), 0.0),
+        beta=1.0 / float(slope),
+        r_squared=r2,
+        samples=int(sizes.size),
+    )
+
+
+def calibrate_hop(
+    topology: NodeTopology, hop: Hop, sizes=DEFAULT_SWEEP, jitter_factory=None
+) -> LinkEstimate:
+    times = np.array(
+        [_time_hop(topology, hop, int(n), jitter_factory) for n in sizes]
+    )
+    return fit_hockney(np.asarray(sizes, dtype=float), times)
+
+
+def _measure_staged_k1(
+    topology: NodeTopology, path: PathDescriptor, nbytes: int, jitter_factory=None
+) -> float:
+    """Timed unpipelined staged transfer: hop1, sync, hop2 in order."""
+    engine = Engine()
+    runtime = GPURuntime(engine, topology, jitter_factory=jitter_factory)
+    s1 = runtime.create_stream(path.src)
+    stage_dev = path.via if path.via is not None else path.src
+    s2 = runtime.create_stream(stage_dev)
+    epsilon = runtime.sync_cost(via_gpu=path.via is not None)
+    hop1, hop2 = path.hops
+
+    start = engine.now
+    runtime.copy_on_hop_async(hop1, nbytes, s1, tag="cal:h1")
+    arrived = runtime.create_event("cal")
+    arrived.record(s1)
+    s2.wait_event(arrived)
+    s2.delay(epsilon)
+    done = runtime.copy_on_hop_async(hop2, nbytes, s2, tag="cal:h2")
+    engine.run(until=done)
+    return engine.now - start
+
+
+def calibrate_epsilon(
+    topology: NodeTopology,
+    path: PathDescriptor,
+    store: ParameterStore,
+    sizes=DEFAULT_SWEEP,
+    jitter_factory=None,
+) -> float:
+    """ε̂ = measured staged k=1 time − sum of calibrated hop times."""
+    est1 = store.link(path.hops[0])
+    est2 = store.link(path.hops[1])
+    residuals = []
+    for n in sizes:
+        measured = _measure_staged_k1(topology, path, int(n), jitter_factory)
+        predicted_hops = (
+            est1.alpha + n / est1.beta + est2.alpha + n / est2.beta
+        )
+        residuals.append(measured - predicted_hops)
+    return max(float(np.mean(residuals)), 0.0)
+
+
+def calibrate_phi_analytic(
+    path_params, sizes=DEFAULT_PHI_WINDOW, theta_ref: float = 0.25
+) -> float:
+    """φ̂ from the calibrated (α̂, β̂, ε̂): least-squares sqrt(x) ≈ φx."""
+    xs = [
+        chunking_ratio(path_params, theta_ref, float(n))
+        for n in sizes
+    ]
+    xs = [x for x in xs if x > 0]
+    return fit_phi(xs)
+
+
+def calibrate_launch_overhead(
+    topology: NodeTopology, repeats: int = 8, jitter_factory=None
+) -> float:
+    """Mean gap between back-to-back zero-byte copies on one stream."""
+    engine = Engine()
+    runtime = GPURuntime(engine, topology, jitter_factory=jitter_factory)
+    stream = runtime.create_stream(0)
+    hop = None
+    for dst in range(1, topology.num_gpus):
+        if topology.has_direct(0, dst):
+            hop = topology.direct_hop(0, dst)
+            break
+    if hop is None:
+        hop = topology.host_hops(0, 1)[0]
+    start = engine.now
+    last = None
+    for i in range(repeats):
+        last = runtime.copy_on_hop_async(hop, 0, stream, tag=f"launch{i}")
+    engine.run(until=last)
+    return (engine.now - start) / repeats
+
+
+def calibrate(
+    topology: NodeTopology,
+    *,
+    sizes=DEFAULT_SWEEP,
+    phi_window=DEFAULT_PHI_WINDOW,
+    jitter_factory=None,
+) -> ParameterStore:
+    """Full Step-1 extraction for one system.
+
+    ``jitter_factory`` must match the one the experiments run with — on a
+    real node you calibrate the same hardware you measure.
+    """
+    store = ParameterStore(system=topology.name)
+
+    # 1. Hop regressions over every hop any candidate path uses.
+    hops: set[Hop] = set()
+    gpu_staged_example: PathDescriptor | None = None
+    host_example: PathDescriptor | None = None
+    all_paths: list[PathDescriptor] = []
+    for src in range(topology.num_gpus):
+        for dst in range(topology.num_gpus):
+            if src == dst:
+                continue
+            for path in enumerate_paths(topology, src, dst, include_host=True):
+                all_paths.append(path)
+                hops.update(path.hops)
+                if path.via is not None and gpu_staged_example is None:
+                    gpu_staged_example = path
+                if path.via is None and len(path.hops) == 2 and host_example is None:
+                    host_example = path
+    for hop in sorted(hops):
+        store.set_link(hop, calibrate_hop(topology, hop, sizes, jitter_factory))
+
+    # 2. Staging synchronization overheads.
+    if gpu_staged_example is not None:
+        store.set_epsilon(
+            "gpu",
+            calibrate_epsilon(topology, gpu_staged_example, store, sizes, jitter_factory),
+        )
+    if host_example is not None:
+        store.set_epsilon(
+            "host",
+            calibrate_epsilon(topology, host_example, store, sizes, jitter_factory),
+        )
+
+    # 3. Topology constants φ per staged path id.
+    seen: set[str] = set()
+    for path in all_paths:
+        if len(path.hops) != 2 or path.path_id in seen:
+            continue
+        seen.add(path.path_id)
+        params = store.path_params(path)
+        store.set_phi(path.path_id, calibrate_phi_analytic(params, phi_window))
+
+    # 4. Per-transfer launch overhead (Line 18's accumulated α).
+    store.launch_overhead = calibrate_launch_overhead(
+        topology, jitter_factory=jitter_factory
+    )
+    return store
+
+
+__all__ = [
+    "calibrate",
+    "calibrate_hop",
+    "calibrate_epsilon",
+    "calibrate_phi_analytic",
+    "calibrate_launch_overhead",
+    "fit_hockney",
+    "DEFAULT_SWEEP",
+    "DEFAULT_PHI_WINDOW",
+]

@@ -1,0 +1,39 @@
+"""Collective benchmark adapters: wrap the collective algorithms into the
+uniform ``collective(view, data)`` shape the OMB latency loop expects."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mpi import collectives as coll
+
+
+def allreduce_bench(view, data):
+    """MPI_Allreduce over the per-rank vector ``data``."""
+    result = yield from coll.allreduce(view, data)
+    return result
+
+
+def alltoall_bench(view, data):
+    """MPI_Alltoall where ``data`` is this rank's full send vector.
+
+    The vector is split into ``size`` equal blocks (one per destination),
+    matching OMB's osu_alltoall message-size convention (x-axis = bytes
+    per rank pair... the paper plots per-rank/GPU size, handled by the
+    driver).
+    """
+    blocks = np.array_split(np.asarray(data), view.size)
+    # array_split can make unequal blocks; pad to uniform by trimming to
+    # the smallest block so Bruck's uniform requirement holds.
+    smallest = min(b.size for b in blocks)
+    blocks = [b[:smallest] for b in blocks]
+    result = yield from coll.alltoall(view, blocks)
+    return result
+
+
+COLLECTIVES = {
+    "allreduce": allreduce_bench,
+    "alltoall": alltoall_bench,
+}
+
+__all__ = ["allreduce_bench", "alltoall_bench", "COLLECTIVES"]

@@ -1,0 +1,31 @@
+"""Per-figure experiment drivers (see DESIGN.md's experiment index).
+
+========  =====================================================
+FIG4      θ distribution across paths vs message size (Fig. 4)
+FIG5      unidirectional BW grid (Fig. 5)
+FIG6      bidirectional BW grid (Fig. 6)
+FIG7      collective speedups (Fig. 7)
+TAB-ERR   prediction-error aggregation (§5 headline numbers)
+OBS1–5    the five §5.2 observations as quantitative checks
+========  =====================================================
+"""
+
+from repro.bench.experiments.fig4_theta import run_fig4
+from repro.bench.experiments.fig5_bw import run_fig5
+from repro.bench.experiments.fig6_bibw import run_fig6
+from repro.bench.experiments.fig7_collectives import run_fig7
+from repro.bench.experiments.error_analysis import (
+    headline_speedups,
+    prediction_error_table,
+)
+from repro.bench.experiments.observations import check_observations
+
+__all__ = [
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "prediction_error_table",
+    "headline_speedups",
+    "check_observations",
+]

@@ -1,0 +1,123 @@
+"""TAB-ERR / SPEEDUP — the paper's §5 headline aggregates.
+
+* :func:`prediction_error_table` — prediction error as percentage
+  deviation of the model-predicted bandwidth from the *observed optimal*
+  (the better of the static- and dynamic-tuned measurements), aggregated
+  per (system, paths, window) over size thresholds — the paper quotes
+  "<6 % mean error for messages larger than 4 MB" (BW) and "~8 % for
+  non-host BIBW";
+* :func:`headline_speedups` — maximum dynamic-over-direct speedup (paper:
+  up to 2.9× for P2P, 1.4× for collectives).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.tables import Table
+
+ERROR_COLUMNS = [
+    "system",
+    "paths",
+    "window",
+    "threshold_mib",
+    "mean_error_pct",
+    "max_error_pct",
+    "points",
+]
+
+
+def row_error_pct(row) -> float:
+    """Percentage deviation of the prediction from the observed optimum."""
+    observed_opt = max(row["static_gbps"], row["dynamic_gbps"])
+    if observed_opt <= 0:
+        return float("nan")
+    return abs(row["predicted_gbps"] - observed_opt) / observed_opt * 100.0
+
+
+def prediction_error_table(
+    fig_table: Table, *, thresholds_mib: tuple[int, ...] = (4, 8)
+) -> Table:
+    """Aggregate prediction error from a FIG5/FIG6-shaped table."""
+    out = Table(ERROR_COLUMNS, title="Prediction error vs observed optimal (%)")
+    for (system, paths, window), group in sorted(
+        fig_table.groupby("system", "paths", "window").items()
+    ):
+        for threshold in thresholds_mib:
+            errors = [
+                row_error_pct(r)
+                for r in group
+                if r["size_mib"] > threshold
+            ]
+            errors = [e for e in errors if not np.isnan(e)]
+            if not errors:
+                continue
+            out.add(
+                system=system,
+                paths=paths,
+                window=window,
+                threshold_mib=threshold,
+                mean_error_pct=float(np.mean(errors)),
+                max_error_pct=float(np.max(errors)),
+                points=len(errors),
+            )
+    return out
+
+
+def overall_mean_error(error_table: Table, *, threshold_mib: int = 4) -> float:
+    """Single scalar: mean of per-panel mean errors above the threshold."""
+    vals = [
+        r["mean_error_pct"]
+        for r in error_table
+        if r["threshold_mib"] == threshold_mib
+    ]
+    if not vals:
+        raise ValueError("no rows at the requested threshold")
+    return float(np.mean(vals))
+
+
+SPEEDUP_COLUMNS = ["scope", "system", "paths", "best_speedup", "at_size_mib"]
+
+
+def headline_speedups(
+    fig5_table: Table, fig7_table: Table | None = None
+) -> Table:
+    """Maximum dynamic/direct speedups (the paper's 2.9× / 1.4×)."""
+    out = Table(SPEEDUP_COLUMNS, title="Headline speedups (dynamic vs direct)")
+    for (system, paths), group in sorted(
+        fig5_table.groupby("system", "paths").items()
+    ):
+        best, at = 0.0, None
+        for r in group:
+            if r["direct_gbps"] <= 0:
+                continue
+            s = r["dynamic_gbps"] / r["direct_gbps"]
+            if s > best:
+                best, at = s, r["size_mib"]
+        out.add(scope="p2p", system=system, paths=paths, best_speedup=best, at_size_mib=at)
+    if fig7_table is not None:
+        for (system, collective, paths), group in sorted(
+            fig7_table.groupby("system", "collective", "paths").items()
+        ):
+            best, at = 0.0, None
+            for r in group:
+                if r["dynamic_speedup"] > best:
+                    best, at = r["dynamic_speedup"], r["size_mib"]
+            out.add(
+                scope=f"coll:{collective}",
+                system=system,
+                paths=paths,
+                best_speedup=best,
+                at_size_mib=at,
+            )
+    return out
+
+
+__all__ = [
+    "prediction_error_table",
+    "overall_mean_error",
+    "headline_speedups",
+    "row_error_pct",
+    "ERROR_COLUMNS",
+    "SPEEDUP_COLUMNS",
+]

@@ -1,0 +1,92 @@
+"""FIG5 — unidirectional bandwidth grid (paper Fig. 5).
+
+For each (system, path configuration, window) panel, sweeps message sizes
+and reports the four series of the paper's plots:
+
+* ``direct_gbps``    — Direct Path baseline (single-path cuda_ipc);
+* ``static_gbps``    — Static Path Distribution (offline exhaustive search);
+* ``dynamic_gbps``   — Dynamic Path Distribution (the model at runtime);
+* ``predicted_gbps`` — Model-Driven Prediction (analytical, no execution).
+"""
+
+from __future__ import annotations
+
+from repro.bench.omb import osu_bw
+from repro.bench.runner import (
+    PATH_CONFIGS,
+    SystemSetup,
+    configs_for,
+    default_sizes,
+    get_setup,
+)
+from repro.core.planner import PathPlanner
+from repro.units import MiB, to_gbps
+from repro.util.tables import Table
+
+FIG5_COLUMNS = [
+    "system",
+    "paths",
+    "window",
+    "size_mib",
+    "direct_gbps",
+    "static_gbps",
+    "dynamic_gbps",
+    "predicted_gbps",
+]
+
+
+def predicted_bandwidth(setup: SystemSetup, paths_label: str, nbytes: int) -> float:
+    """The model's predicted optimal-configuration bandwidth (bytes/s)."""
+    planner = PathPlanner(setup.topology, setup.store)
+    return planner.predict_bandwidth(0, 1, nbytes, **PATH_CONFIGS[paths_label])
+
+
+def run_fig5(
+    systems: tuple[str, ...] = ("beluga", "narval"),
+    *,
+    paths_labels: tuple[str, ...] = ("2_GPUs", "3_GPUs", "3_GPUs_w_host"),
+    windows: tuple[int, ...] = (1, 16),
+    sizes: list[int] | None = None,
+    iterations: int = 3,
+    warmup: int = 1,
+    grid_steps: int = 6,
+    chunk_menu: tuple[int, ...] = (1, 4, 16),
+    jitter_sigma: float = 0.0,
+) -> Table:
+    sizes = sizes or default_sizes()
+    table = Table(FIG5_COLUMNS, title="FIG5: unidirectional MPI bandwidth (GB/s)")
+    for system in systems:
+        setup = get_setup(system, jitter_sigma=jitter_sigma)
+        for label in paths_labels:
+            for window in windows:
+                for n in sizes:
+                    configs = configs_for(
+                        setup, label, n,
+                        grid_steps=grid_steps, chunk_menu=chunk_menu,
+                    )
+                    measured = {}
+                    for series, cfg in configs.items():
+                        result = osu_bw(
+                            setup.env(cfg),
+                            n,
+                            window=window,
+                            iterations=iterations,
+                            warmup=warmup,
+                        )
+                        measured[series] = result.bandwidth
+                    table.add(
+                        system=system,
+                        paths=label,
+                        window=window,
+                        size_mib=n // MiB,
+                        direct_gbps=to_gbps(measured["direct"]),
+                        static_gbps=to_gbps(measured["static"]),
+                        dynamic_gbps=to_gbps(measured["dynamic"]),
+                        predicted_gbps=to_gbps(
+                            predicted_bandwidth(setup, label, n)
+                        ),
+                    )
+    return table
+
+
+__all__ = ["run_fig5", "predicted_bandwidth", "FIG5_COLUMNS"]

@@ -1,0 +1,95 @@
+"""FIG6 — bidirectional bandwidth grid (paper Fig. 6).
+
+Same panel grid as FIG5 but with the OSU BIBW loop: both ranks stream a
+window of messages each way simultaneously.  Host-staged configurations
+degrade here because opposing host-staged flows contend on the shared
+staging bandwidth (paper Observation 5) — an effect the model does not
+capture, which is why the predicted series overshoots in the ``_w_host``
+panels.
+"""
+
+from __future__ import annotations
+
+from repro.bench.omb import osu_bibw
+from repro.bench.runner import (
+    PATH_CONFIGS,
+    SystemSetup,
+    configs_for,
+    default_sizes,
+    get_setup,
+)
+from repro.core.planner import PathPlanner
+from repro.units import MiB, to_gbps
+from repro.util.tables import Table
+
+FIG6_COLUMNS = [
+    "system",
+    "paths",
+    "window",
+    "size_mib",
+    "direct_gbps",
+    "static_gbps",
+    "dynamic_gbps",
+    "predicted_gbps",
+]
+
+
+def predicted_bibw(setup: SystemSetup, paths_label: str, nbytes: int) -> float:
+    """Model prediction for BIBW: two independent optimal transfers.
+
+    The model assumes full-duplex symmetric links, so its bidirectional
+    aggregate is simply twice the unidirectional prediction — exactly the
+    assumption Observation 5 shows breaking on the host path.
+    """
+    planner = PathPlanner(setup.topology, setup.store)
+    uni = planner.predict_bandwidth(0, 1, nbytes, **PATH_CONFIGS[paths_label])
+    return 2.0 * uni
+
+
+def run_fig6(
+    systems: tuple[str, ...] = ("beluga", "narval"),
+    *,
+    paths_labels: tuple[str, ...] = ("2_GPUs", "3_GPUs", "3_GPUs_w_host"),
+    windows: tuple[int, ...] = (1, 16),
+    sizes: list[int] | None = None,
+    iterations: int = 3,
+    warmup: int = 1,
+    grid_steps: int = 6,
+    chunk_menu: tuple[int, ...] = (1, 4, 16),
+    jitter_sigma: float = 0.0,
+) -> Table:
+    sizes = sizes or default_sizes()
+    table = Table(FIG6_COLUMNS, title="FIG6: bidirectional MPI bandwidth (GB/s)")
+    for system in systems:
+        setup = get_setup(system, jitter_sigma=jitter_sigma)
+        for label in paths_labels:
+            for window in windows:
+                for n in sizes:
+                    configs = configs_for(
+                        setup, label, n,
+                        grid_steps=grid_steps, chunk_menu=chunk_menu,
+                    )
+                    measured = {}
+                    for series, cfg in configs.items():
+                        result = osu_bibw(
+                            setup.env(cfg),
+                            n,
+                            window=window,
+                            iterations=iterations,
+                            warmup=warmup,
+                        )
+                        measured[series] = result.bandwidth
+                    table.add(
+                        system=system,
+                        paths=label,
+                        window=window,
+                        size_mib=n // MiB,
+                        direct_gbps=to_gbps(measured["direct"]),
+                        static_gbps=to_gbps(measured["static"]),
+                        dynamic_gbps=to_gbps(measured["dynamic"]),
+                        predicted_gbps=to_gbps(predicted_bibw(setup, label, n)),
+                    )
+    return table
+
+
+__all__ = ["run_fig6", "predicted_bibw", "FIG6_COLUMNS"]

@@ -1,0 +1,101 @@
+"""FIG7 — collective latency speedups (paper Fig. 7).
+
+MPI_Alltoall (Bruck) and MPI_Allreduce (recursive scatter-reduce +
+allgather) on both systems with 2 and 3 GPU paths, reported as latency
+speedup of the static- and model-driven multi-path configurations over the
+default MPI+UCC+UCX stack (single direct path).  Host staging is excluded,
+as in the paper (§5.3: BIBW host contention makes it counter-productive).
+"""
+
+from __future__ import annotations
+
+from repro.bench.collectives import COLLECTIVES
+from repro.bench.omb import osu_collective_latency
+from repro.bench.runner import configs_for, get_setup
+from repro.units import MiB
+from repro.util.tables import Table
+
+FIG7_COLUMNS = [
+    "system",
+    "collective",
+    "paths",
+    "size_mib",
+    "direct_latency_us",
+    "static_latency_us",
+    "dynamic_latency_us",
+    "static_speedup",
+    "dynamic_speedup",
+]
+
+
+def collective_sizes(min_mib: int = 2, max_mib: int = 64) -> list[int]:
+    """Per-rank payload sizes for the collective sweep."""
+    sizes = []
+    s = min_mib
+    while s <= max_mib:
+        sizes.append(s * MiB)
+        s *= 2
+    return sizes
+
+
+def _step_size_hint(collective: str, nbytes_per_rank: int, num_ranks: int) -> int:
+    """Representative P2P message size inside the collective.
+
+    Static shares are tuned offline at one message size; the natural choice
+    is the size of the collective's dominant transfer step: roughly half
+    the vector for recursive Allreduce's first exchange, and half the send
+    vector for each Bruck round.
+    """
+    return max(1 * MiB, nbytes_per_rank // 2)
+
+
+def run_fig7(
+    systems: tuple[str, ...] = ("beluga", "narval"),
+    *,
+    collectives: tuple[str, ...] = ("alltoall", "allreduce"),
+    paths_labels: tuple[str, ...] = ("2_GPUs", "3_GPUs"),
+    sizes: list[int] | None = None,
+    iterations: int = 2,
+    warmup: int = 1,
+    grid_steps: int = 6,
+    chunk_menu: tuple[int, ...] = (1, 4, 16),
+    jitter_sigma: float = 0.0,
+) -> Table:
+    sizes = sizes or collective_sizes()
+    table = Table(FIG7_COLUMNS, title="FIG7: collective latency speedup vs MPI+UCC+UCX")
+    for system in systems:
+        setup = get_setup(system, jitter_sigma=jitter_sigma)
+        for name in collectives:
+            fn = COLLECTIVES[name]
+            for label in paths_labels:
+                for n in sizes:
+                    hint = _step_size_hint(name, n, setup.topology.num_gpus)
+                    configs = configs_for(
+                        setup, label, hint,
+                        grid_steps=grid_steps, chunk_menu=chunk_menu,
+                    )
+                    lat = {}
+                    for series, cfg in configs.items():
+                        result = osu_collective_latency(
+                            setup.env(cfg),
+                            fn,
+                            n,
+                            iterations=iterations,
+                            warmup=warmup,
+                        )
+                        lat[series] = result.latency
+                    table.add(
+                        system=system,
+                        collective=name,
+                        paths=label,
+                        size_mib=n // MiB,
+                        direct_latency_us=lat["direct"] * 1e6,
+                        static_latency_us=lat["static"] * 1e6,
+                        dynamic_latency_us=lat["dynamic"] * 1e6,
+                        static_speedup=lat["direct"] / lat["static"],
+                        dynamic_speedup=lat["direct"] / lat["dynamic"],
+                    )
+    return table
+
+
+__all__ = ["run_fig7", "collective_sizes", "FIG7_COLUMNS"]

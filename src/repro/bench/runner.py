@@ -1,0 +1,148 @@
+"""Sweep orchestration shared by the per-figure experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.baselines import (
+    StaticSearchResult,
+    direct_config,
+    dynamic_config,
+    static_config,
+    static_search,
+)
+from repro.bench.calibrate import calibrate
+from repro.bench.env import BenchEnvironment, default_jitter_factory
+from repro.core.params import ParameterStore
+from repro.topology import systems as systems_mod
+from repro.topology.node import NodeTopology
+from repro.units import MiB
+
+#: The paper's three multi-path configurations (§5.2 figure labels).
+PATH_CONFIGS: dict[str, dict] = {
+    "2_GPUs": {"include_host": False, "max_gpu_staged": 1},
+    "3_GPUs": {"include_host": False, "max_gpu_staged": 2},
+    "3_GPUs_w_host": {"include_host": True, "max_gpu_staged": 2},
+}
+
+
+def default_sizes(min_mib: int = 2, max_mib: int = 512) -> list[int]:
+    """Power-of-two message sizes, 2 MiB – 512 MiB like the paper's x-axes."""
+    sizes = []
+    s = min_mib
+    while s <= max_mib:
+        sizes.append(s * MiB)
+        s *= 2
+    return sizes
+
+
+def quick_sizes() -> list[int]:
+    """Reduced sweep for CI / pytest-benchmark runs."""
+    return [4 * MiB, 16 * MiB, 64 * MiB, 256 * MiB]
+
+
+@dataclass
+class SystemSetup:
+    """A calibrated system ready for measurement."""
+
+    name: str
+    topology: NodeTopology
+    store: ParameterStore
+    jitter_seed: int = 0
+    jitter_sigma: float = 0.0  # systematic-only by default: deterministic
+
+    def env(self, config) -> BenchEnvironment:
+        return BenchEnvironment(
+            topology=self.topology,
+            config=config,
+            store=self.store,
+            jitter_factory=default_jitter_factory(self.jitter_seed, self.jitter_sigma),
+        )
+
+
+_SETUP_CACHE: dict[tuple, SystemSetup] = {}
+
+
+def get_setup(
+    system: str, *, jitter_seed: int = 0, jitter_sigma: float = 0.0
+) -> SystemSetup:
+    """Build (and memoise) topology + calibration for a system name."""
+    key = (system, jitter_seed, jitter_sigma)
+    cached = _SETUP_CACHE.get(key)
+    if cached is not None:
+        return cached
+    topology = systems_mod.by_name(system)
+    jf = default_jitter_factory(jitter_seed, jitter_sigma)
+    store = calibrate(topology, jitter_factory=jf)
+    setup = SystemSetup(
+        name=system,
+        topology=topology,
+        store=store,
+        jitter_seed=jitter_seed,
+        jitter_sigma=jitter_sigma,
+    )
+    _SETUP_CACHE[key] = setup
+    return setup
+
+
+_STATIC_CACHE: dict[tuple, StaticSearchResult] = {}
+
+
+def get_static_shares(
+    setup: SystemSetup,
+    paths_label: str,
+    nbytes: int,
+    *,
+    grid_steps: int = 6,
+    chunk_menu: tuple[int, ...] = (1, 4, 16),
+) -> StaticSearchResult:
+    """Offline-tuned static distribution, memoised per (system, cfg, size)."""
+    key = (setup.name, setup.jitter_seed, setup.jitter_sigma, paths_label,
+           nbytes, grid_steps, chunk_menu)
+    cached = _STATIC_CACHE.get(key)
+    if cached is not None:
+        return cached
+    kwargs = PATH_CONFIGS[paths_label]
+    env = setup.env(dynamic_config(**kwargs))
+    result = static_search(
+        env,
+        nbytes,
+        include_host=kwargs["include_host"],
+        max_gpu_staged=kwargs["max_gpu_staged"],
+        grid_steps=grid_steps,
+        chunk_menu=chunk_menu,
+    )
+    _STATIC_CACHE[key] = result
+    return result
+
+
+def configs_for(setup: SystemSetup, paths_label: str, nbytes: int, **search_kw):
+    """The three benchmark configurations for one panel point.
+
+    Returns dict of label -> TransportConfig: ``direct``, ``static``,
+    ``dynamic``.
+    """
+    kwargs = PATH_CONFIGS[paths_label]
+    shares = get_static_shares(setup, paths_label, nbytes, **search_kw).shares
+    return {
+        "direct": direct_config(),
+        "static": static_config(shares, **kwargs),
+        "dynamic": dynamic_config(**kwargs),
+    }
+
+
+def clear_caches() -> None:
+    _SETUP_CACHE.clear()
+    _STATIC_CACHE.clear()
+
+
+__all__ = [
+    "PATH_CONFIGS",
+    "SystemSetup",
+    "default_sizes",
+    "quick_sizes",
+    "get_setup",
+    "get_static_shares",
+    "configs_for",
+    "clear_caches",
+]

@@ -1,0 +1,201 @@
+"""Command-line experiment driver.
+
+Usage::
+
+    python -m repro.cli fig4                 # theta distribution table
+    python -m repro.cli fig5 --quick         # unidirectional BW grid
+    python -m repro.cli fig6 --system beluga
+    python -m repro.cli fig7
+    python -m repro.cli conc                 # concurrent-pairs experiment
+    python -m repro.cli errors               # TAB-ERR aggregation
+    python -m repro.cli observations         # OBS1-5 checks
+    python -m repro.cli calibrate --system narval
+    python -m repro.cli all --quick -o EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import report
+from repro.bench.experiments import (
+    check_observations,
+    headline_speedups,
+    prediction_error_table,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+)
+from repro.bench.experiments.concurrent_pairs import run_concurrent_pairs
+from repro.bench.experiments.fig7_collectives import collective_sizes
+from repro.bench.runner import default_sizes, get_setup, quick_sizes
+from repro.units import MiB
+
+
+def _systems(args) -> tuple[str, ...]:
+    return tuple(args.system) if args.system else ("beluga", "narval")
+
+
+def _sizes(args):
+    return quick_sizes() if args.quick else default_sizes()
+
+
+def _grid(args):
+    return dict(
+        grid_steps=4 if args.quick else 6,
+        chunk_menu=(1, 8) if args.quick else (1, 4, 16),
+        iterations=2 if args.quick else 3,
+    )
+
+
+def cmd_calibrate(args):
+    for system in _systems(args):
+        setup = get_setup(system)
+        print(f"# calibrated parameters: {system}")
+        print(setup.store.to_json())
+
+
+def cmd_fig4(args):
+    for system in _systems(args):
+        table = run_fig4(system, sizes=_sizes(args))
+        print(table.render())
+        print()
+        print(report.render_fig4(table))
+
+
+def cmd_fig5(args):
+    table = run_fig5(_systems(args), sizes=_sizes(args), **_grid(args))
+    print(table.render())
+    print()
+    print(report.render_fig5(table))
+    return table
+
+
+def cmd_fig6(args):
+    table = run_fig6(_systems(args), sizes=_sizes(args), **_grid(args))
+    print(table.render())
+    print()
+    print(report.render_fig6(table))
+    return table
+
+
+def cmd_fig7(args):
+    sizes = [4 * MiB, 16 * MiB, 64 * MiB] if args.quick else collective_sizes()
+    table = run_fig7(_systems(args), sizes=sizes, **_grid(args))
+    print(table.render())
+    print()
+    print(report.render_fig7(table))
+    return table
+
+
+def cmd_conc(args):
+    sizes = [64 * MiB] if args.quick else [16 * MiB, 64 * MiB, 256 * MiB]
+    table = run_concurrent_pairs(_systems(args), sizes=sizes)
+    print(table.render())
+
+
+def cmd_errors(args):
+    fig5 = run_fig5(_systems(args), sizes=_sizes(args), **_grid(args))
+    err = prediction_error_table(fig5)
+    print(err.render())
+    print()
+    print(headline_speedups(fig5).render())
+
+
+def cmd_observations(args):
+    fig5 = run_fig5(_systems(args), sizes=_sizes(args), **_grid(args))
+    fig6 = run_fig6(_systems(args), sizes=_sizes(args), **_grid(args))
+    for obs in check_observations(fig5, fig6):
+        print(obs)
+
+
+def cmd_all(args):
+    t0 = time.time()
+    systems = _systems(args)
+    sizes = _sizes(args)
+    grid = _grid(args)
+    print(f"running full reproduction on {systems} ...", file=sys.stderr)
+
+    fig4_tables = [run_fig4(s, sizes=sizes) for s in systems if s == "beluga"]
+    fig5 = run_fig5(systems, sizes=sizes, **grid)
+    fig6 = run_fig6(systems, sizes=sizes, **grid)
+    coll_sizes = [4 * MiB, 16 * MiB, 64 * MiB] if args.quick else collective_sizes()
+    fig7 = run_fig7(systems, sizes=coll_sizes, **grid)
+    conc = run_concurrent_pairs(
+        systems, sizes=[64 * MiB] if args.quick else [64 * MiB, 256 * MiB]
+    )
+    err = prediction_error_table(fig5)
+    err6 = prediction_error_table(fig6)
+    speedups = headline_speedups(fig5, fig7)
+    observations = check_observations(fig5, fig6)
+
+    sections = {}
+    if fig4_tables:
+        sections["FIG4 — θ distribution across paths (Beluga, BW)"] = (
+            fig4_tables[0].render() + "\n\n" + report.render_fig4(fig4_tables[0])
+        )
+    sections["FIG5 — unidirectional bandwidth"] = (
+        fig5.render() + "\n\n" + report.render_fig5(fig5)
+    )
+    sections["FIG6 — bidirectional bandwidth"] = (
+        fig6.render() + "\n\n" + report.render_fig6(fig6)
+    )
+    sections["FIG7 — collective speedups"] = (
+        fig7.render() + "\n\n" + report.render_fig7(fig7)
+    )
+    sections["CONC — concurrent multi-pair transfers (§3 loaded case)"] = (
+        conc.render()
+    )
+    sections["TAB-ERR — prediction error (BW)"] = err.render()
+    sections["TAB-ERR — prediction error (BIBW)"] = err6.render()
+    sections["Headline speedups"] = speedups.render()
+    sections["Observations 1–5"] = "\n".join(str(o) for o in observations)
+    text = report.experiments_markdown(sections)
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text)
+        print(f"wrote {args.output} ({time.time() - t0:.0f}s)", file=sys.stderr)
+    else:
+        print(text)
+
+
+COMMANDS = {
+    "calibrate": cmd_calibrate,
+    "conc": cmd_conc,
+    "fig4": cmd_fig4,
+    "fig5": cmd_fig5,
+    "fig6": cmd_fig6,
+    "fig7": cmd_fig7,
+    "errors": cmd_errors,
+    "observations": cmd_observations,
+    "all": cmd_all,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Reproduction harness for the multi-path GPU "
+        "communication performance model (SC Workshops '25).",
+    )
+    parser.add_argument("command", choices=sorted(COMMANDS))
+    parser.add_argument(
+        "--system",
+        action="append",
+        choices=["beluga", "narval", "dgx_nvswitch", "mi250_node", "pcie_only"],
+        help="restrict to one or more systems (default: beluga + narval)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced sweep for fast runs"
+    )
+    parser.add_argument("-o", "--output", help="write EXPERIMENTS.md here (all)")
+    args = parser.parse_args(argv)
+    COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

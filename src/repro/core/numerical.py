@@ -1,0 +1,156 @@
+"""Exact numerical fraction optimiser (paper §3.4's "numerical methods").
+
+The √-form pipelined path times (Eqs. 17/18) make the equal-time system
+non-linear, which the paper avoids at runtime via the φ linearisation.
+This module solves the exact problem offline with scipy (epigraph form of
+the min-max over the simplex) so we can
+
+* validate the closed form: for large messages the linearised solution's
+  completion time should be within a few percent of the exact optimum;
+* run the linearisation ablation bench.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize
+
+from repro.core.params import PathParams
+from repro.core.pipeline_model import pipelined_time_at_optimum
+
+
+def exact_path_time(params: PathParams, theta: float, nbytes: float) -> float:
+    """Non-linear path time: √-form for staged paths, Hockney for direct."""
+    if theta <= 0:
+        return 0.0
+    if not params.is_staged:
+        return params.initiation + params.alpha1 + theta * nbytes / params.beta1
+    return pipelined_time_at_optimum(params, theta, nbytes)
+
+
+@dataclass(frozen=True)
+class NumericalSolution:
+    theta: np.ndarray
+    time: float
+    success: bool
+    iterations: int
+
+
+def solve_exact_fractions(
+    paths: Sequence[PathParams],
+    nbytes: float,
+    *,
+    initial: Sequence[float] | None = None,
+    tol: float = 1e-10,
+) -> NumericalSolution:
+    """Minimise ``max_i T_i(θ)`` over the simplex (epigraph + SLSQP).
+
+    Decision vector is ``[θ_1..θ_p, t]``; we minimise ``t`` subject to
+    ``t ≥ T_i(θ_i)`` per path and ``Σθ = 1``, ``θ ≥ 0``.
+    """
+    p = len(paths)
+    if p == 0:
+        raise ValueError("at least one path required")
+    n = float(nbytes)
+    if n <= 0:
+        raise ValueError("message size must be > 0")
+
+    if initial is None:
+        # Bandwidth-proportional warm start.
+        betas = np.array(
+            [
+                min(q.beta1, q.beta2) if q.is_staged else q.beta1
+                for q in paths
+            ]
+        )
+        theta0 = betas / betas.sum()
+    else:
+        theta0 = np.asarray(initial, dtype=float)
+        if theta0.size != p:
+            raise ValueError("initial fractions must align with paths")
+    t0 = max(exact_path_time(q, th, n) for q, th in zip(paths, theta0))
+    x0 = np.concatenate([theta0, [t0]])
+
+    def objective(x: np.ndarray) -> float:
+        return x[-1]
+
+    constraints = [
+        {"type": "eq", "fun": lambda x: x[:p].sum() - 1.0},
+    ]
+    for i, q in enumerate(paths):
+        constraints.append(
+            {
+                "type": "ineq",
+                "fun": lambda x, i=i, q=q: x[-1] - exact_path_time(q, max(x[i], 0.0), n),
+            }
+        )
+    bounds = [(0.0, 1.0)] * p + [(0.0, None)]
+
+    result = optimize.minimize(
+        objective,
+        x0,
+        method="SLSQP",
+        bounds=bounds,
+        constraints=constraints,
+        options={"maxiter": 500, "ftol": tol},
+    )
+    theta = np.clip(result.x[:p], 0.0, 1.0)
+    s = theta.sum()
+    if s > 0:
+        theta = theta / s
+    time = max(exact_path_time(q, th, n) for q, th in zip(paths, theta))
+    return NumericalSolution(
+        theta=theta,
+        time=float(time),
+        success=bool(result.success),
+        iterations=int(result.get("nit", 0)) if hasattr(result, "get") else int(result.nit),
+    )
+
+
+def grid_refine(
+    paths: Sequence[PathParams],
+    nbytes: float,
+    *,
+    resolution: int = 50,
+) -> NumericalSolution:
+    """Brute-force simplex grid search (2–3 paths) as a solver cross-check.
+
+    Exponential in path count; used only in tests to validate SLSQP.
+    """
+    p = len(paths)
+    if p > 3:
+        raise ValueError("grid search supported for at most 3 paths")
+    n = float(nbytes)
+    best_theta = None
+    best_time = float("inf")
+    steps = np.linspace(0.0, 1.0, resolution + 1)
+    if p == 1:
+        candidates = [(1.0,)]
+    elif p == 2:
+        candidates = [(a, 1.0 - a) for a in steps]
+    else:
+        candidates = [
+            (a, b, 1.0 - a - b)
+            for a in steps
+            for b in steps
+            if a + b <= 1.0 + 1e-12
+        ]
+    evals = 0
+    for cand in candidates:
+        evals += 1
+        t = max(exact_path_time(q, max(th, 0.0), n) for q, th in zip(paths, cand))
+        if t < best_time:
+            best_time = t
+            best_theta = cand
+    return NumericalSolution(
+        theta=np.asarray(best_theta, dtype=float),
+        time=float(best_time),
+        success=True,
+        iterations=evals,
+    )
+
+
+__all__ = ["NumericalSolution", "solve_exact_fractions", "grid_refine", "exact_path_time"]

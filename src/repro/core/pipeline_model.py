@@ -1,0 +1,127 @@
+"""Chunked (pipelined) staged-transfer times — paper §3.4, Eqs. 12–18.
+
+A staged path splits its share into ``k`` chunks; each chunk is copied to
+the staging device, a synchronization point is inserted, then the chunk is
+forwarded.  With pipelining, the two hops of *different* chunks overlap and
+the total time is governed by the slower hop (Eq. 13):
+
+* **Case 1** (first hop slower, β < β'): the first hop is saturated — its k
+  startups and the full share's bytes — plus one trailing second-hop chunk;
+* **Case 2** (second hop slower, β ≥ β'): symmetric, with the per-chunk
+  sync ε + α' charged k times.
+
+The exact optimal chunk counts minimise these by balancing startup against
+trailing-chunk cost (Eqs. 14–15); substituting them back yields the √-form
+closed times (Eqs. 17–18).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.params import PathParams
+
+
+def chunk_time(params: PathParams, theta: float, nbytes: float, k: int) -> float:
+    """Eq. (12): time to move a single chunk through a staged path."""
+    _check(params, theta, nbytes, k)
+    chunk = theta * nbytes / k
+    return (
+        params.alpha1
+        + chunk / params.beta1
+        + params.epsilon
+        + params.alpha2
+        + chunk / params.beta2
+    )
+
+
+def pipelined_time(params: PathParams, theta: float, nbytes: float, k: int) -> float:
+    """Eq. (13): pipelined staged-path time for a given chunk count ``k``."""
+    _check(params, theta, nbytes, k)
+    if theta == 0:
+        return 0.0
+    chunk = theta * nbytes / k
+    first = params.alpha1 + chunk / params.beta1
+    second = params.epsilon + params.alpha2 + chunk / params.beta2
+    if params.beta1 < params.beta2:  # Case 1: first link is the bottleneck
+        return params.initiation + k * first + second
+    return params.initiation + first + k * second  # Case 2
+
+
+def optimal_chunks_exact(params: PathParams, theta: float, nbytes: float) -> float:
+    """Eqs. (14)/(15): the real-valued chunk count minimising Eq. (13)."""
+    _check(params, theta, nbytes, 1)
+    share = theta * nbytes
+    if share == 0:
+        return 1.0
+    if params.beta1 < params.beta2:  # Case 1
+        denom = params.alpha1 * params.beta2
+    else:  # Case 2
+        denom = params.beta1 * (params.epsilon + params.alpha2)
+    if denom <= 0:
+        return float(share)  # degenerate zero-cost startup: chunk freely
+    return math.sqrt(share / denom)
+
+
+def optimal_chunks(
+    params: PathParams, theta: float, nbytes: float, *, max_chunks: int = 4096
+) -> int:
+    """Integer chunk count: the better of floor/ceil of the exact optimum."""
+    k_exact = min(float(max_chunks), optimal_chunks_exact(params, theta, nbytes))
+    lo = max(1, math.floor(k_exact))
+    hi = min(max_chunks, max(1, math.ceil(k_exact)))
+    if lo == hi:
+        return lo
+    t_lo = pipelined_time(params, theta, nbytes, lo)
+    t_hi = pipelined_time(params, theta, nbytes, hi)
+    return lo if t_lo <= t_hi else hi
+
+
+def pipelined_time_at_optimum(
+    params: PathParams, theta: float, nbytes: float
+) -> float:
+    """Eqs. (17)/(18): pipelined time at the exact (real-valued) optimum k.
+
+    Case 1: ``2 sqrt(θ n α / β') + θ n / β + ε + α'``;
+    Case 2: ``2 sqrt(θ n (ε + α') / β) + θ n / β' + α``.
+    """
+    _check(params, theta, nbytes, 1)
+    if theta == 0:
+        return 0.0
+    share = theta * nbytes
+    if params.beta1 < params.beta2:  # Case 1
+        return (
+            params.initiation
+            + 2 * math.sqrt(share * params.alpha1 / params.beta2)
+            + share / params.beta1
+            + params.epsilon
+            + params.alpha2
+        )
+    return (  # Case 2
+        params.initiation
+        + 2 * math.sqrt(share * (params.epsilon + params.alpha2) / params.beta1)
+        + share / params.beta2
+        + params.alpha1
+    )
+
+
+def _check(params: PathParams, theta: float, nbytes: float, k: int) -> None:
+    if not params.is_staged:
+        raise ValueError(
+            f"path {params.path_id!r} is direct; pipelining applies to staged paths"
+        )
+    if not 0 <= theta <= 1 + 1e-9:
+        raise ValueError(f"theta out of [0, 1]: {theta}")
+    if nbytes < 0:
+        raise ValueError("negative message size")
+    if k < 1:
+        raise ValueError("chunk count must be >= 1")
+
+
+__all__ = [
+    "chunk_time",
+    "pipelined_time",
+    "optimal_chunks_exact",
+    "optimal_chunks",
+    "pipelined_time_at_optimum",
+]

@@ -1,0 +1,362 @@
+"""Algorithm 1: the runtime path-configuration planner.
+
+Given (src, dst, message size, candidate paths) the planner
+
+1. checks the configuration cache (Lines 4–6);
+2. resolves each path's calibrated link parameters (Lines 7–15);
+3. computes the pipelined effective Ω_i, Δ_i with the φ linearisation and
+   the sequential-initiation correction of Line 18 (Lines 16–21);
+4. solves the equal-time system for θ* (Lines 22–26);
+5. converts fractions into aligned byte shares, gives the rounding
+   leftover to the direct path (Lines 27–29), and caches the result.
+
+The computation is O(paths) per miss and O(1) per hit, which is what makes
+the <0.1 % runtime-overhead claim of §5 hold (see the planner-overhead
+bench).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.chunking import (
+    EffectiveParams,
+    effective_params,
+    fit_phi_for_sizes,
+    linear_chunks,
+    phi_at,
+)
+from repro.core.optimizer import optimal_fractions
+from repro.core.params import ParameterStore, PathParams
+from repro.topology.node import NodeTopology
+from repro.topology.routing import PathDescriptor, PathKind, enumerate_paths
+from repro.units import MiB
+from repro.util.cache import LRUCache
+
+#: Message-size window used to fit φ when no calibrated value exists.
+DEFAULT_PHI_SIZES = tuple(int(2**i * MiB) for i in range(1, 10))  # 2MiB..512MiB
+
+
+@dataclass(frozen=True)
+class PathAssignment:
+    """One path's share of a planned transfer."""
+
+    path: PathDescriptor
+    params: PathParams
+    effective: EffectiveParams
+    theta: float
+    nbytes: int
+    chunks: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.path.path_id}: theta={self.theta:.4f} "
+            f"bytes={self.nbytes} chunks={self.chunks}"
+        )
+
+
+@dataclass(frozen=True)
+class TransferPlan:
+    """The planner's output: byte shares and chunk counts per path."""
+
+    src: int
+    dst: int
+    nbytes: int
+    assignments: tuple[PathAssignment, ...]
+    predicted_time: float
+    from_cache: bool = False
+
+    @property
+    def predicted_bandwidth(self) -> float:
+        return self.nbytes / self.predicted_time if self.predicted_time > 0 else 0.0
+
+    @property
+    def active_assignments(self) -> tuple[PathAssignment, ...]:
+        return tuple(a for a in self.assignments if a.nbytes > 0)
+
+    @property
+    def num_active_paths(self) -> int:
+        return len(self.active_assignments)
+
+    def assignment_for(self, path_id: str) -> PathAssignment:
+        for a in self.assignments:
+            if a.path.path_id == path_id:
+                return a
+        raise KeyError(path_id)
+
+    def theta_vector(self) -> np.ndarray:
+        return np.array([a.theta for a in self.assignments])
+
+    def describe(self) -> str:
+        lines = [
+            f"TransferPlan GPU{self.src}->GPU{self.dst} n={self.nbytes} "
+            f"T*={self.predicted_time * 1e6:.1f}us "
+            f"BW*={self.predicted_bandwidth / 1e9:.1f}GB/s"
+        ]
+        lines += [f"  {a.describe()}" for a in self.assignments]
+        return "\n".join(lines)
+
+
+class PathPlanner:
+    """Algorithm 1 with configuration cache.
+
+    Parameters
+    ----------
+    topology:
+        The node description (used for path enumeration and ε fallbacks).
+    store:
+        Calibrated parameters (Fig. 2a Step 1/2).  Defaults to the
+        topology's ground-truth parameters.
+    pipelining:
+        Use the φ-linearised pipelined reductions of Eq. (22) for staged
+        paths; ``False`` falls back to the non-pipelined Eq. (11)
+        (the no-pipelining ablation).
+    sequential_initiation:
+        Apply the Line-18 correction: path *i*'s Δ accumulates the launch
+        latencies of the paths scheduled before it.
+    alignment:
+        Byte shares are rounded down to this multiple (GPU copies want
+        aligned buffers); the remainder goes to the direct path.
+    max_chunks:
+        Upper bound on per-path chunk counts (pipeline queue depth).
+    phi_mode:
+        How the topology constants φ of Eq. (19) are obtained:
+        ``"per-size"`` (default) anchors φ at the current message size —
+        the paper's ``c·f(n)`` form, exact at the anchor point;
+        ``"calibrated"`` uses a single global constant per path (from the
+        parameter store, or a window fit) — the cheaper variant used as an
+        ablation.
+    """
+
+    def __init__(
+        self,
+        topology: NodeTopology,
+        store: ParameterStore | None = None,
+        *,
+        pipelining: bool = True,
+        sequential_initiation: bool = True,
+        cache_capacity: int = 512,
+        alignment: int = 256,
+        max_chunks: int = 64,
+        phi_sizes: Sequence[int] = DEFAULT_PHI_SIZES,
+        phi_mode: str = "per-size",
+    ) -> None:
+        if phi_mode not in ("per-size", "calibrated"):
+            raise ValueError("phi_mode must be 'per-size' or 'calibrated'")
+        if alignment < 1:
+            raise ValueError("alignment must be >= 1")
+        if max_chunks < 1:
+            raise ValueError("max_chunks must be >= 1")
+        self.topology = topology
+        self.store = store if store is not None else ParameterStore.ground_truth(topology)
+        self.pipelining = pipelining
+        self.sequential_initiation = sequential_initiation
+        self.alignment = alignment
+        self.max_chunks = max_chunks
+        self.phi_sizes = tuple(phi_sizes)
+        self.phi_mode = phi_mode
+        self.cache: LRUCache = LRUCache(cache_capacity)
+        self._phi_cache: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        *,
+        include_host: bool = True,
+        max_gpu_staged: int | None = None,
+        exclude: Iterable[str] = (),
+        use_cache: bool = True,
+    ) -> TransferPlan:
+        """Plan a transfer over all (non-excluded) available paths."""
+        exclude = tuple(sorted(exclude))
+        key = (src, dst, int(nbytes), include_host, max_gpu_staged, exclude)
+        if use_cache:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return TransferPlan(
+                    src=cached.src,
+                    dst=cached.dst,
+                    nbytes=cached.nbytes,
+                    assignments=cached.assignments,
+                    predicted_time=cached.predicted_time,
+                    from_cache=True,
+                )
+        paths = enumerate_paths(
+            self.topology,
+            src,
+            dst,
+            include_host=include_host,
+            max_gpu_staged=max_gpu_staged,
+            exclude=exclude,
+        )
+        plan = self.plan_for_paths(src, dst, nbytes, paths)
+        if use_cache:
+            self.cache.put(key, plan)
+        return plan
+
+    # ------------------------------------------------------------------
+    def plan_for_paths(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        paths: Sequence[PathDescriptor],
+    ) -> TransferPlan:
+        """Algorithm 1 body for an explicit candidate-path list."""
+        if nbytes < 0:
+            raise ValueError("negative message size")
+        if not paths:
+            raise ValueError("at least one path required")
+        if nbytes == 0:
+            zero = [
+                PathAssignment(
+                    path=p,
+                    params=self._params_for(p, 0.0),
+                    effective=effective_params(self._params_for(p, 0.0), None),
+                    theta=1.0 if i == 0 else 0.0,
+                    nbytes=0,
+                    chunks=1,
+                )
+                for i, p in enumerate(paths)
+            ]
+            first = zero[0].params
+            return TransferPlan(
+                src=src, dst=dst, nbytes=0, assignments=tuple(zero),
+                predicted_time=first.alpha1,
+            )
+
+        # Lines 7-21: per-path parameters and effective reductions, with the
+        # sequential-initiation accumulation of Line 18.
+        params_list: list[PathParams] = []
+        effectives: list[EffectiveParams] = []
+        accumulated = 0.0
+        theta_ref = 1.0 / len(paths)
+        for p in paths:
+            params = self._params_for(p, accumulated)
+            params_list.append(params)
+            phi = (
+                self._phi_for(params, nbytes, theta_ref)
+                if (self.pipelining and p.is_staged)
+                else None
+            )
+            effectives.append(effective_params(params, phi))
+            if self.sequential_initiation:
+                launch = (
+                    self.store.launch_overhead
+                    if self.store.launch_overhead > 0
+                    else params.alpha1
+                )
+                accumulated += launch
+
+        # Lines 22-26: equal-time fractions.
+        keep = next(
+            (i for i, p in enumerate(paths) if p.kind is PathKind.DIRECT), None
+        )
+        solution = optimal_fractions(
+            params_list,
+            nbytes,
+            omegas=[e.omega for e in effectives],
+            deltas=[e.delta for e in effectives],
+            keep=keep,
+        )
+
+        # Lines 27-29: byte shares, aligned, leftover to the direct path.
+        shares = [
+            int(theta * nbytes) // self.alignment * self.alignment
+            for theta in solution.theta
+        ]
+        leftover = nbytes - sum(shares)
+        sink = keep if keep is not None else int(np.argmax(solution.theta))
+        shares[sink] += leftover
+
+        assignments = []
+        for p, params, eff, share in zip(paths, params_list, effectives, shares):
+            theta = share / nbytes
+            if p.is_staged and share > 0 and self.pipelining:
+                phi = (
+                    eff.phi
+                    if eff.phi is not None
+                    else self._phi_for(params, nbytes, theta)
+                )
+                chunks = linear_chunks(
+                    params, theta, nbytes, phi, max_chunks=self.max_chunks,
+                )
+            else:
+                chunks = 1
+            assignments.append(
+                PathAssignment(
+                    path=p,
+                    params=params,
+                    effective=eff,
+                    theta=theta,
+                    nbytes=share,
+                    chunks=chunks,
+                )
+            )
+        # Predicted time re-evaluated at the *rounded* shares:
+        predicted = max(
+            a.theta * nbytes * a.effective.omega + a.effective.delta
+            for a in assignments
+            if a.nbytes > 0
+        )
+        return TransferPlan(
+            src=src,
+            dst=dst,
+            nbytes=nbytes,
+            assignments=tuple(assignments),
+            predicted_time=float(predicted),
+        )
+
+    # ------------------------------------------------------------------
+    def predict_time(self, src: int, dst: int, nbytes: int, **kwargs) -> float:
+        """Model-predicted completion time of the optimal configuration."""
+        return self.plan(src, dst, nbytes, **kwargs).predicted_time
+
+    def predict_bandwidth(self, src: int, dst: int, nbytes: int, **kwargs) -> float:
+        return self.plan(src, dst, nbytes, **kwargs).predicted_bandwidth
+
+    # ------------------------------------------------------------------
+    def _params_for(self, path: PathDescriptor, initiation: float) -> PathParams:
+        params = self.store.path_params(path)
+        if self.sequential_initiation and initiation > 0:
+            params = params.with_initiation(initiation)
+        return params
+
+    def _phi_for(
+        self, params: PathParams, nbytes: int, theta_ref: float
+    ) -> float:
+        """φ per the configured mode (see class docstring)."""
+        if self.phi_mode == "per-size":
+            return phi_at(params, theta_ref, nbytes)
+        cached = self._phi_cache.get(params.path_id)
+        if cached is not None:
+            return cached
+        if params.path_id in self.store._phi:  # calibrated value wins
+            phi = self.store.phi(params.path_id)
+        else:
+            phi = fit_phi_for_sizes(params, self.phi_sizes)
+        self._phi_cache[params.path_id] = phi
+        return phi
+
+
+def plan_transfer(
+    topology: NodeTopology,
+    src: int,
+    dst: int,
+    nbytes: int,
+    *,
+    store: ParameterStore | None = None,
+    **kwargs,
+) -> TransferPlan:
+    """One-shot convenience wrapper around :class:`PathPlanner`."""
+    planner = PathPlanner(topology, store)
+    return planner.plan(src, dst, nbytes, **kwargs)
+
+
+__all__ = ["PathPlanner", "TransferPlan", "PathAssignment", "plan_transfer"]

@@ -1,0 +1,138 @@
+"""Executable form of Theorem 1: equal per-path times are optimal.
+
+The paper proves (by contradiction; proof omitted there for space) that for
+``T_i = θ_i n Ω_i + Δ_i`` the fraction vector minimising ``max_i T_i``
+subject to the simplex constraint equalises all *active* path times.  This
+module provides:
+
+* :func:`equal_time_gap` — how far a fraction vector is from satisfying the
+  equal-time condition;
+* :func:`is_equal_time_optimal` — predicate used in tests;
+* :func:`suboptimality_of` — T(θ)/T(θ*) ≥ 1, the certificate used by the
+  property-based tests ("no perturbation beats the closed form");
+* :func:`exchange_argument_step` — one step of the proof's exchange
+  argument: moving mass from the slowest to a faster path strictly reduces
+  the maximum (when feasible), demonstrating why unequal times cannot be
+  optimal.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.optimizer import optimal_fractions
+from repro.core.params import PathParams
+
+
+def linear_times(
+    theta: Sequence[float],
+    omegas: Sequence[float],
+    deltas: Sequence[float],
+    nbytes: float,
+) -> np.ndarray:
+    """Per-path times under the linear model T_i = θ_i n Ω_i + Δ_i."""
+    th = np.asarray(theta, dtype=float)
+    om = np.asarray(omegas, dtype=float)
+    de = np.asarray(deltas, dtype=float)
+    return th * nbytes * om + de
+
+
+def equal_time_gap(
+    theta: Sequence[float],
+    omegas: Sequence[float],
+    deltas: Sequence[float],
+    nbytes: float,
+) -> float:
+    """Spread (max−min)/max of active-path times; 0 means perfectly equal.
+
+    Paths with θ_i = 0 are inactive and excluded (they are legitimately
+    dropped by the optimiser for small messages).
+    """
+    th = np.asarray(theta, dtype=float)
+    times = linear_times(th, omegas, deltas, nbytes)
+    active = times[th > 1e-12]
+    if active.size <= 1:
+        return 0.0
+    return float((active.max() - active.min()) / active.max())
+
+
+def is_equal_time_optimal(
+    paths: Sequence[PathParams],
+    theta: Sequence[float],
+    nbytes: float,
+    *,
+    tol: float = 1e-6,
+) -> bool:
+    """True when active paths have (near-)equal times under Eq. (21)."""
+    om = [p.Omega for p in paths]
+    de = [p.Delta for p in paths]
+    return equal_time_gap(theta, om, de, nbytes) <= tol
+
+
+def suboptimality_of(
+    paths: Sequence[PathParams],
+    theta: Sequence[float],
+    nbytes: float,
+) -> float:
+    """T(θ) / T(θ*) for the linear model — always ≥ 1 (up to fp noise).
+
+    This is the executable content of Theorem 1: no feasible fraction
+    vector completes faster than the equal-time solution.
+    """
+    om = np.array([p.Omega for p in paths])
+    de = np.array([p.Delta for p in paths])
+    t_theta = float(linear_times(theta, om, de, nbytes).max())
+    star = optimal_fractions(paths, nbytes, keep=None)
+    # T* must be evaluated the same way (max over paths) for fairness.
+    t_star = float(linear_times(star.theta, om, de, nbytes).max())
+    return t_theta / t_star if t_star > 0 else float("inf")
+
+
+def exchange_argument_step(
+    theta: Sequence[float],
+    omegas: Sequence[float],
+    deltas: Sequence[float],
+    nbytes: float,
+    *,
+    step_fraction: float = 0.5,
+) -> tuple[np.ndarray, float, float]:
+    """One step of the proof's exchange argument.
+
+    Identifies the slowest and fastest active paths; if their times differ,
+    moves ``step_fraction`` of the equalising mass from slow to fast and
+    returns ``(new_theta, old_max, new_max)`` with ``new_max < old_max``
+    whenever a strict improvement is possible (the condition of Theorem 1,
+    α_fast < T_slow, holds).
+    """
+    th = np.asarray(theta, dtype=float).copy()
+    om = np.asarray(omegas, dtype=float)
+    de = np.asarray(deltas, dtype=float)
+    times = linear_times(th, om, de, nbytes)
+    old_max = float(times.max())
+
+    slow = int(np.argmax(times))
+    # fastest path by time among all paths (may currently carry 0 mass,
+    # mirroring the proof where an underused path absorbs mass).
+    fast = int(np.argmin(times))
+    if slow == fast or times[slow] - times[fast] <= 0:
+        return th, old_max, old_max
+
+    # Mass δ that would equalise the two paths if moved entirely:
+    # (θ_s − δ) n Ω_s + Δ_s = (θ_f + δ) n Ω_f + Δ_f
+    delta_mass = (times[slow] - times[fast]) / (nbytes * (om[slow] + om[fast]))
+    delta_mass = min(delta_mass * step_fraction, th[slow])
+    th[slow] -= delta_mass
+    th[fast] += delta_mass
+    new_max = float(linear_times(th, om, de, nbytes).max())
+    return th, old_max, new_max
+
+
+__all__ = [
+    "linear_times",
+    "equal_time_gap",
+    "is_equal_time_optimal",
+    "suboptimality_of",
+    "exchange_argument_step",
+]

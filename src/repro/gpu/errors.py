@@ -1,0 +1,18 @@
+"""Error types of the simulated GPU runtime."""
+
+from __future__ import annotations
+
+
+class GpuError(RuntimeError):
+    """Base class for simulated GPU runtime errors."""
+
+
+class InvalidDevice(GpuError):
+    """Raised for out-of-range or mismatched device ids."""
+
+
+class StreamError(GpuError):
+    """Raised for illegal stream operations (e.g. use after destroy)."""
+
+
+__all__ = ["GpuError", "InvalidDevice", "StreamError"]

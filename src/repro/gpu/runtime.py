@@ -1,0 +1,173 @@
+"""The per-node GPU runtime: devices, streams, and copy primitives.
+
+:class:`GPURuntime` binds a :class:`~repro.topology.node.NodeTopology` to a
+live :class:`~repro.sim.fabric.Fabric` and exposes the CUDA-ish operations
+the transport layer needs:
+
+* create streams on devices;
+* enqueue async copies along a topology hop (direct peer copy, d2h, h2d);
+* per-device sync overhead constants (the model's ε);
+* an IPC handle cache shared by the node's "processes".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.gpu.errors import InvalidDevice
+from repro.gpu.event import GpuEvent
+from repro.gpu.ipc import IpcHandleCache
+from repro.gpu.stream import Stream
+from repro.sim.resources import Semaphore
+from repro.sim.engine import Engine, Event
+from repro.sim.fabric import Fabric
+from repro.sim.trace import Tracer
+from repro.topology.node import NodeTopology
+from repro.topology.routing import Hop
+
+
+@dataclass
+class Device:
+    """One simulated GPU."""
+
+    device_id: int
+    numa: int
+    streams: list[Stream] = field(default_factory=list)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Device {self.device_id} numa={self.numa}>"
+
+
+class GPURuntime:
+    """Devices + fabric for one node."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        topology: NodeTopology,
+        *,
+        tracer: Tracer | None = None,
+        jitter_factory: Callable | None = None,
+        ipc_open_cost: float | None = None,
+        copy_engines: int | None = None,
+    ) -> None:
+        """``copy_engines`` bounds concurrent DMA copies per device (real
+        GPUs have a handful of copy engines per direction); ``None`` leaves
+        concurrency unbounded, which is accurate for the <=4 concurrent
+        paths the paper's configurations use on V100/A100 hardware."""
+        self.engine = engine
+        self.topology = topology
+        self.tracer = tracer
+        self.fabric: Fabric = topology.build_fabric(
+            engine, tracer=tracer, jitter_factory=jitter_factory
+        )
+        self.devices = [
+            Device(device_id=g, numa=topology.gpu_numa[g])
+            for g in range(topology.num_gpus)
+        ]
+        kwargs = {} if ipc_open_cost is None else {"open_cost": ipc_open_cost}
+        self.ipc = IpcHandleCache(engine, **kwargs)
+        self._stream_count = 0
+        if copy_engines is not None and copy_engines < 1:
+            raise ValueError("copy_engines must be >= 1 (or None)")
+        self._copy_engines: dict[int, Semaphore] | None = None
+        if copy_engines is not None:
+            self._copy_engines = {
+                d.device_id: Semaphore(engine, copy_engines, f"ce:{d.device_id}")
+                for d in self.devices
+            }
+
+    # ------------------------------------------------------------------
+    def device(self, device_id: int) -> Device:
+        if not 0 <= device_id < len(self.devices):
+            raise InvalidDevice(f"device {device_id} out of range")
+        return self.devices[device_id]
+
+    def create_stream(self, device_id: int, name: str = "") -> Stream:
+        dev = self.device(device_id)
+        self._stream_count += 1
+        stream = Stream(
+            self.engine,
+            device_id,
+            name or f"dev{device_id}/s{self._stream_count}",
+        )
+        dev.streams.append(stream)
+        return stream
+
+    def create_event(self, name: str = "") -> GpuEvent:
+        return GpuEvent(self.engine, name)
+
+    # ------------------------------------------------------------------
+    # Copies
+    # ------------------------------------------------------------------
+    def copy_on_hop_async(
+        self,
+        hop: Hop,
+        nbytes: int,
+        stream: Stream,
+        *,
+        tag: str = "",
+    ) -> Event:
+        """Enqueue a DMA copy along a topology hop on ``stream``.
+
+        When the runtime was built with bounded ``copy_engines``, the copy
+        first claims an engine slot on the stream's device.
+        """
+        sem = (
+            self._copy_engines.get(stream.device_id)
+            if self._copy_engines is not None
+            else None
+        )
+
+        def op():
+            if sem is not None:
+                yield sem.acquire()
+            try:
+                result = yield self.fabric.copy(hop, nbytes, tag=tag)
+            finally:
+                if sem is not None:
+                    sem.release()
+            return result
+
+        return stream.enqueue(op, label=tag or "copy")
+
+    def peer_copy_async(
+        self, src: int, dst: int, nbytes: int, stream: Stream, *, tag: str = ""
+    ) -> Event:
+        """cudaMemcpyPeerAsync over the direct link."""
+        hop = self.topology.direct_hop(src, dst)
+        return self.copy_on_hop_async(hop, nbytes, stream, tag=tag or f"p2p:{src}->{dst}")
+
+    def d2h_copy_async(
+        self, gpu: int, numa: int, nbytes: int, stream: Stream, *, tag: str = ""
+    ) -> Event:
+        hop = self.topology.d2h_hop(gpu, numa)
+        return self.copy_on_hop_async(hop, nbytes, stream, tag=tag or f"d2h:{gpu}")
+
+    def h2d_copy_async(
+        self, gpu: int, numa: int, nbytes: int, stream: Stream, *, tag: str = ""
+    ) -> Event:
+        hop = self.topology.h2d_hop(gpu, numa)
+        return self.copy_on_hop_async(hop, nbytes, stream, tag=tag or f"h2d:{gpu}")
+
+    # ------------------------------------------------------------------
+    def sync_cost(self, *, via_gpu: bool) -> float:
+        """ε: cost of the staging-point synchronization (paper Table 1)."""
+        return self.topology.sync_epsilon(via_gpu=via_gpu)
+
+    def open_ipc(self, owner: int, peer: int) -> Event:
+        """Ensure the peer mapping exists (cached cudaIpcOpenMemHandle)."""
+        self.device(owner)
+        self.device(peer)
+        return self.ipc.open(owner, peer)
+
+    def synchronize_all(self) -> Event:
+        """Barrier over every stream on every device."""
+        tails = [
+            s.synchronize() for dev in self.devices for s in dev.streams
+        ]
+        return self.engine.all_of(tails)
+
+
+__all__ = ["GPURuntime", "Device"]

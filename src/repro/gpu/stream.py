@@ -1,0 +1,101 @@
+"""In-order GPU streams (cudaStream analogue).
+
+A stream is a FIFO of operations.  Each operation is a generator factory;
+the stream guarantees op *i+1* starts only after op *i* finished, while
+different streams progress concurrently — exactly the ordering contract the
+multi-path pipeline engine builds on (one stream per path, chunks in order
+within a path).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Generator
+
+from repro.gpu.errors import StreamError
+from repro.sim.engine import Engine, Event
+
+
+class Stream:
+    """An in-order execution queue bound to a device."""
+
+    def __init__(self, engine: Engine, device_id: int, name: str = "") -> None:
+        self.engine = engine
+        self.device_id = device_id
+        self.name = name or f"stream(dev{device_id})"
+        self._tail: Event | None = None
+        self._destroyed = False
+        self.ops_enqueued = 0
+        self.ops_completed = 0
+
+    # ------------------------------------------------------------------
+    def enqueue(
+        self, op_factory: Callable[[], Generator], label: str = ""
+    ) -> Event:
+        """Append an operation; returns the event of *this op's* completion.
+
+        ``op_factory`` is called when all previously enqueued work has
+        drained; it must return a generator (a sim process body).  Failures
+        propagate to the returned event and poison subsequent ops (matching
+        CUDA's sticky-error behaviour loosely: later ops fail too).
+        """
+        if self._destroyed:
+            raise StreamError(f"{self.name}: enqueue after destroy")
+        done = self.engine.event()
+        prev = self._tail
+        self._tail = done
+        self.ops_enqueued += 1
+
+        def runner():
+            if prev is not None:
+                yield prev  # raises if the previous op failed
+            result = yield self.engine.process(
+                op_factory(), name=f"{self.name}:{label}"
+            )
+            self.ops_completed += 1
+            return result
+
+        proc = self.engine.process(runner(), name=f"{self.name}:chain:{label}")
+        proc.add_callback(
+            lambda ev: done.succeed(ev.value) if ev.ok else done.fail(ev._exception)
+        )
+        return done
+
+    def delay(self, seconds: float, label: str = "delay") -> Event:
+        """Enqueue a fixed-cost operation (sync overheads, kernel stubs)."""
+        if seconds < 0:
+            raise ValueError("negative delay")
+
+        def op():
+            yield self.engine.timeout(seconds)
+
+        return self.enqueue(op, label=label)
+
+    def wait_event(self, gpu_event) -> Event:
+        """Enqueue a dependency: later ops wait until ``gpu_event`` occurs."""
+        target = gpu_event.wait()
+
+        def op():
+            yield target
+
+        return self.enqueue(op, label="wait_event")
+
+    def synchronize(self) -> Event:
+        """Sim event that triggers once all currently enqueued work drains."""
+        if self._tail is None or self._tail.triggered:
+            ev = self.engine.event()
+            ev.succeed(None)
+            return ev
+        return self._tail
+
+    @property
+    def idle(self) -> bool:
+        return self._tail is None or self._tail.triggered
+
+    def destroy(self) -> None:
+        self._destroyed = True
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Stream {self.name} queued={self.ops_enqueued - self.ops_completed}>"
+
+
+__all__ = ["Stream"]

@@ -1,0 +1,28 @@
+"""MPI-like layer over the simulated UCX transport.
+
+Ranks are simulated processes (generator functions) bound 1:1 to GPUs.
+The API follows mpi4py conventions where it can:
+
+* :class:`~repro.mpi.comm.Communicator` — tag/source matching, barriers,
+  rank program launching;
+* :class:`~repro.mpi.comm.RankView` — the per-rank handle with
+  ``isend``/``irecv`` (non-blocking, returning requests) and generator
+  helpers ``send``/``recv``;
+* :mod:`repro.mpi.collectives` — Allreduce (recursive halving +
+  ring fallback), Alltoall (Bruck), Allgather, Reduce-scatter, Bcast —
+  the algorithms UCC selects for large messages per the paper §5.3.
+"""
+
+from repro.mpi.comm import ANY_SOURCE, ANY_TAG, Communicator, RankView
+from repro.mpi.request import Request, waitall
+from repro.mpi import collectives
+
+__all__ = [
+    "Communicator",
+    "RankView",
+    "Request",
+    "waitall",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "collectives",
+]

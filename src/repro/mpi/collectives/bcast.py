@@ -1,0 +1,48 @@
+"""Binomial-tree broadcast."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mpi.comm import RankView
+
+
+def bcast_binomial(view: RankView, array=None, root: int = 0):
+    """Binomial tree: log2(P) depth, works for any rank count.
+
+    Non-root ranks pass ``array=None`` and receive the payload as the
+    return value; the root passes its data.
+    """
+    p, rank = view.size, view.rank
+    if not 0 <= root < p:
+        raise ValueError("root out of range")
+    tag = view.next_collective_tag()
+    vrank = (rank - root) % p  # virtual rank: root becomes 0
+
+    data = np.array(array, copy=True) if rank == root else None
+    if p == 1:
+        return data
+
+    # Receive from the parent (highest set bit of vrank).
+    if vrank != 0:
+        mask = 1
+        while mask <= vrank:
+            mask <<= 1
+        mask >>= 1
+        parent = ((vrank - mask) + root) % p
+        data = yield from view.recv(parent, tag=tag)
+
+    # Forward to children: vrank + mask for masks above our highest bit.
+    mask = 1
+    while mask <= vrank:
+        mask <<= 1
+    while mask < p:
+        child_v = vrank + mask
+        if child_v < p:
+            child = (child_v + root) % p
+            yield from view.send(child, payload=data, tag=tag)
+        mask <<= 1
+    return data
+
+
+__all__ = ["bcast_binomial"]

@@ -1,0 +1,278 @@
+"""Communicator: rank processes, message matching, barriers.
+
+Ranks are generator functions driven by the simulation engine, one per GPU.
+Point-to-point matching follows MPI semantics: a transfer starts once both
+the send and a matching receive are posted (rendezvous — correct for the
+large GPU messages this stack targets), matching on (source, tag) with
+wildcards, in posting order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Generator
+from dataclasses import dataclass
+from typing import Any
+
+from repro.mpi.datatypes import copy_payload, payload_nbytes
+from repro.mpi.request import Request, waitall
+from repro.sim.engine import Engine, Event
+from repro.ucx.context import UCXContext
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+@dataclass
+class _PendingSend:
+    src: int
+    dst: int
+    tag: int
+    nbytes: int
+    payload: Any
+    request: Request
+
+
+@dataclass
+class _PostedRecv:
+    dst: int
+    src: int  # may be ANY_SOURCE
+    tag: int  # may be ANY_TAG
+    request: Request
+
+
+class Communicator:
+    """An intra-node communicator whose ranks map 1:1 onto GPUs."""
+
+    def __init__(
+        self,
+        context: UCXContext,
+        size: int | None = None,
+        *,
+        rank_to_device: list[int] | None = None,
+        reduce_bandwidth: float = 250e9,
+    ) -> None:
+        topo_gpus = context.topology.num_gpus
+        self.context = context
+        self.engine: Engine = context.engine
+        self.size = size if size is not None else topo_gpus
+        if self.size < 1:
+            raise ValueError("communicator needs at least one rank")
+        if rank_to_device is None:
+            rank_to_device = [r % topo_gpus for r in range(self.size)]
+        if len(rank_to_device) != self.size:
+            raise ValueError("rank_to_device length mismatch")
+        for dev in rank_to_device:
+            context.runtime.device(dev)  # validates
+        self.rank_to_device = list(rank_to_device)
+        if reduce_bandwidth <= 0:
+            raise ValueError("reduce_bandwidth must be > 0")
+        self.reduce_bandwidth = float(reduce_bandwidth)
+
+        self._pending_sends: deque[_PendingSend] = deque()
+        self._posted_recvs: deque[_PostedRecv] = deque()
+        self._barrier_waiters: list[Event] = []
+        self._barrier_epoch = 0
+        self._coll_seq: dict[int, int] = {}
+        self.messages_matched = 0
+        self.bytes_transferred = 0
+
+    # ------------------------------------------------------------------
+    def view(self, rank: int) -> "RankView":
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range")
+        return RankView(self, rank)
+
+    def run_ranks(self, fn: Callable[["RankView"], Generator]) -> Event:
+        """Launch ``fn(view)`` as a process per rank; barrier on them all.
+
+        The returned event's value is the list of per-rank return values.
+        """
+        procs = [
+            self.engine.process(fn(self.view(r)), name=f"rank{r}")
+            for r in range(self.size)
+        ]
+        return self.engine.all_of(procs)
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def _post_send(
+        self, src: int, dst: int, tag: int, nbytes: int, payload: Any
+    ) -> Request:
+        if not 0 <= dst < self.size:
+            raise ValueError(f"destination rank {dst} out of range")
+        req = Request(self.engine, "send", dst, tag)
+        pend = _PendingSend(src, dst, tag, nbytes, copy_payload(payload), req)
+        recv = self._match_recv(pend)
+        if recv is not None:
+            self._start_transfer(pend, recv)
+        else:
+            self._pending_sends.append(pend)
+        return req
+
+    def _post_recv(self, dst: int, src: int, tag: int) -> Request:
+        if src != ANY_SOURCE and not 0 <= src < self.size:
+            raise ValueError(f"source rank {src} out of range")
+        req = Request(self.engine, "recv", src, tag)
+        post = _PostedRecv(dst, src, tag, req)
+        send = self._match_send(post)
+        if send is not None:
+            self._start_transfer(send, post)
+        else:
+            self._posted_recvs.append(post)
+        return req
+
+    def _match_recv(self, send: _PendingSend) -> _PostedRecv | None:
+        for i, recv in enumerate(self._posted_recvs):
+            if recv.dst != send.dst:
+                continue
+            if recv.src not in (ANY_SOURCE, send.src):
+                continue
+            if recv.tag not in (ANY_TAG, send.tag):
+                continue
+            del self._posted_recvs[i]
+            return recv
+        return None
+
+    def _match_send(self, recv: _PostedRecv) -> _PendingSend | None:
+        for i, send in enumerate(self._pending_sends):
+            if send.dst != recv.dst:
+                continue
+            if recv.src not in (ANY_SOURCE, send.src):
+                continue
+            if recv.tag not in (ANY_TAG, send.tag):
+                continue
+            del self._pending_sends[i]
+            return send
+        return None
+
+    def _start_transfer(self, send: _PendingSend, recv: _PostedRecv) -> None:
+        self.messages_matched += 1
+        self.bytes_transferred += send.nbytes
+        src_dev = self.rank_to_device[send.src]
+        dst_dev = self.rank_to_device[send.dst]
+        if src_dev == dst_dev:
+            # Same-device "transfer": local copy, effectively instant at
+            # this modelling granularity.
+            send.request._finish(None)
+            recv.request._finish(send.payload)
+            return
+        put = self.context.cuda_ipc.put(
+            src_dev,
+            dst_dev,
+            send.nbytes,
+            tag=f"r{send.src}->r{send.dst}:t{send.tag}",
+        )
+
+        def complete(ev):
+            if ev.ok:
+                send.request._finish(None)
+                recv.request._finish(send.payload)
+            else:
+                send.request._fail(ev._exception)
+                recv.request._fail(ev._exception)
+
+        put.add_callback(complete)
+
+    # ------------------------------------------------------------------
+    def barrier_event(self) -> Event:
+        """One rank arrives at the barrier; all released together."""
+        ev = self.engine.event()
+        self._barrier_waiters.append(ev)
+        if len(self._barrier_waiters) == self.size:
+            waiters, self._barrier_waiters = self._barrier_waiters, []
+            self._barrier_epoch += 1
+            for w in waiters:
+                w.succeed(self._barrier_epoch)
+        return ev
+
+    # ------------------------------------------------------------------
+    def compute_cost(self, nbytes: int) -> float:
+        """Simulated duration of an element-wise reduction over nbytes."""
+        return nbytes / self.reduce_bandwidth
+
+    @property
+    def unmatched(self) -> tuple[int, int]:
+        """(pending sends, posted recvs) — should be (0, 0) at teardown."""
+        return len(self._pending_sends), len(self._posted_recvs)
+
+
+class RankView:
+    """The per-rank handle rank programs use."""
+
+    def __init__(self, comm: Communicator, rank: int) -> None:
+        self.comm = comm
+        self.rank = rank
+        self.engine = comm.engine
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    @property
+    def device(self) -> int:
+        return self.comm.rank_to_device[self.rank]
+
+    # ------------------------------------------------------------------
+    # Non-blocking
+    # ------------------------------------------------------------------
+    def isend(
+        self, dst: int, *, nbytes: int | None = None, payload=None, tag: int = 0
+    ) -> Request:
+        size = payload_nbytes(payload, nbytes)
+        return self.comm._post_send(self.rank, dst, tag, size, payload)
+
+    def irecv(self, src: int = ANY_SOURCE, *, tag: int = ANY_TAG) -> Request:
+        return self.comm._post_recv(self.rank, src, tag)
+
+    # ------------------------------------------------------------------
+    # Blocking (generator helpers: `result = yield from view.recv(...)`)
+    # ------------------------------------------------------------------
+    def send(self, dst: int, *, nbytes: int | None = None, payload=None, tag: int = 0):
+        req = self.isend(dst, nbytes=nbytes, payload=payload, tag=tag)
+        yield req.event
+        return None
+
+    def recv(self, src: int = ANY_SOURCE, *, tag: int = ANY_TAG):
+        req = self.irecv(src, tag=tag)
+        value = yield req.event
+        return value
+
+    def sendrecv(
+        self,
+        dst: int,
+        src: int,
+        *,
+        nbytes: int | None = None,
+        payload=None,
+        tag: int = 0,
+    ):
+        """Concurrent exchange; returns the received payload."""
+        sreq = self.isend(dst, nbytes=nbytes, payload=payload, tag=tag)
+        rreq = self.irecv(src, tag=tag)
+        yield waitall(self.engine, [sreq, rreq])
+        return rreq.event.value
+
+    def barrier(self):
+        yield self.comm.barrier_event()
+
+    def next_collective_tag(self) -> int:
+        """Fresh tag base for a collective invocation.
+
+        Ranks execute collectives in the same (SPMD) program order, so the
+        per-rank counters stay aligned across ranks without communication.
+        Each collective gets a 64-tag window for its internal steps.
+        """
+        seq = self.comm._coll_seq.get(self.rank, 0)
+        self.comm._coll_seq[self.rank] = seq + 1
+        return (1 << 20) + seq * 64
+
+    def compute(self, nbytes: int):
+        """Charge reduction-kernel time for nbytes of elementwise work."""
+        cost = self.comm.compute_cost(nbytes)
+        if cost > 0:
+            yield self.engine.timeout(cost)
+
+
+__all__ = ["Communicator", "RankView", "ANY_SOURCE", "ANY_TAG"]

@@ -1,0 +1,55 @@
+"""Non-blocking communication requests (MPI_Request analogue)."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.sim.engine import Engine, Event
+
+
+class Request:
+    """Handle for a pending send or receive.
+
+    ``event`` triggers on completion; its value is the received payload for
+    receives (``None`` for sends).  Rank processes complete requests by
+    yielding ``req.event`` or using :func:`waitall`.
+    """
+
+    def __init__(self, engine: Engine, kind: str, peer: int, tag: int) -> None:
+        self.engine = engine
+        self.kind = kind  # "send" | "recv"
+        self.peer = peer
+        self.tag = tag
+        self.event: Event = engine.event()
+        self.posted_at = engine.now
+
+    @property
+    def complete(self) -> bool:
+        return self.event.triggered
+
+    def test(self):
+        """(done, value) without blocking — MPI_Test."""
+        if self.event.triggered:
+            return True, self.event.value
+        return False, None
+
+    def _finish(self, value=None) -> None:
+        self.event.succeed(value)
+
+    def _fail(self, exc: BaseException) -> None:
+        self.event.fail(exc)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "done" if self.complete else "pending"
+        return f"<Request {self.kind} peer={self.peer} tag={self.tag} {state}>"
+
+
+def waitall(engine: Engine, requests: Iterable[Request]) -> Event:
+    """Event triggering when every request completes (MPI_Waitall).
+
+    Value is the list of request values in input order.
+    """
+    return engine.all_of([r.event for r in requests])
+
+
+__all__ = ["Request", "waitall"]

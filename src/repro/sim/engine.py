@@ -1,0 +1,320 @@
+"""A minimal deterministic discrete-event engine with coroutine processes.
+
+The engine follows the SimPy execution model (generator-based processes that
+``yield`` events) but is purpose-built and dependency-free:
+
+* :class:`Event` — one-shot occurrence carrying a value or an exception;
+* :class:`Timeout` — an event scheduled at ``now + delay``;
+* :class:`Process` — a generator driven by the engine; itself an event that
+  triggers when the generator returns, so processes can wait on each other;
+* :class:`AllOf` / :class:`AnyOf` — barrier / race combinators;
+* :class:`Engine` — the event heap and clock.
+
+Determinism: events scheduled for the same timestamp fire in scheduling
+order (a monotonically increasing sequence number breaks ties), so repeated
+runs of the same program produce identical timelines.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Generator, Iterable
+from typing import Any
+
+_PENDING = object()
+
+
+class SimError(RuntimeError):
+    """Raised for illegal engine operations (double-trigger, deadlock...)."""
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Processes wait on events by yielding them.  An event is *triggered* once
+    :meth:`succeed` or :meth:`fail` is called; callbacks run when the engine
+    processes it (immediately upon triggering, in this implementation —
+    triggering is always initiated from engine context).
+    """
+
+    __slots__ = ("engine", "callbacks", "_value", "_exception", "triggered")
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self.callbacks: list = []
+        self._value: Any = _PENDING
+        self._exception: BaseException | None = None
+        self.triggered = False
+
+    # ------------------------------------------------------------------
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimError("event value not yet available")
+        return self._value
+
+    @property
+    def ok(self) -> bool:
+        return self.triggered and self._exception is None
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise SimError("event already triggered")
+        self.triggered = True
+        self._value = value
+        self._dispatch()
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if self.triggered:
+            raise SimError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self.triggered = True
+        self._value = None
+        self._exception = exception
+        self._dispatch()
+        return self
+
+    def _dispatch(self) -> None:
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def add_callback(self, callback) -> None:
+        """Run ``callback(event)`` when triggered (immediately if already)."""
+        if self.triggered:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self.triggered else "pending"
+        return f"<{type(self).__name__} {state} at t={self.engine.now:.3e}>"
+
+
+class Timeout(Event):
+    """An event that succeeds ``delay`` seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(engine)
+        self.delay = float(delay)
+        engine._schedule(engine.now + self.delay, self, value)
+
+
+class AllOf(Event):
+    """Succeeds when all child events have succeeded; value = list of values.
+
+    Fails fast with the first child failure.
+    """
+
+    __slots__ = ("_children", "_remaining")
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]) -> None:
+        super().__init__(engine)
+        self._children = list(events)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for ev in self._children:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event._exception)  # type: ignore[arg-type]
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([ev.value for ev in self._children])
+
+
+class AnyOf(Event):
+    """Succeeds when the first child triggers; value = (index, value)."""
+
+    __slots__ = ("_children",)
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]) -> None:
+        super().__init__(engine)
+        self._children = list(events)
+        if not self._children:
+            raise ValueError("AnyOf requires at least one event")
+        for i, ev in enumerate(self._children):
+            ev.add_callback(lambda e, i=i: self._on_child(i, e))
+
+    def _on_child(self, index: int, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.ok:
+            self.succeed((index, event.value))
+        else:
+            self.fail(event._exception)  # type: ignore[arg-type]
+
+
+class Process(Event):
+    """A generator-based coroutine driven by the engine.
+
+    The generator yields :class:`Event` instances (including other
+    processes); it is resumed with the event's value, or the event's
+    exception is thrown into it.  When the generator returns, the process —
+    itself an event — succeeds with the return value.
+    """
+
+    __slots__ = ("generator", "name", "_waiting_on")
+
+    def __init__(
+        self, engine: "Engine", generator: Generator, name: str = ""
+    ) -> None:
+        super().__init__(engine)
+        if not isinstance(generator, Generator):
+            raise TypeError(
+                f"Process requires a generator, got {type(generator).__name__} "
+                "(did you forget a yield in the process function?)"
+            )
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Event | None = None
+        # Kick off on the next engine step at the current time.
+        start = Event(engine)
+        start.add_callback(self._resume)
+        engine._schedule(engine.now, start, None)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event.ok:
+                target = self.generator.send(event.value)
+            else:
+                target = self.generator.throw(event._exception)  # type: ignore[arg-type]
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into waiters
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self.generator.close()
+            self.fail(
+                SimError(
+                    f"process {self.name!r} yielded {target!r}; "
+                    "processes must yield Event instances"
+                )
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.triggered else "running"
+        return f"<Process {self.name} {state}>"
+
+
+class Engine:
+    """The simulation clock and event heap."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Event, Any]] = []
+        self._seq = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Event factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _schedule(self, at: float, event: Event, value: Any) -> None:
+        if at < self.now:
+            raise SimError(f"cannot schedule in the past ({at} < {self.now})")
+        self._seq += 1
+        heapq.heappush(self._heap, (at, self._seq, event, value))
+
+    def call_at(self, at: float) -> Event:
+        """An event succeeding at absolute time ``at`` (>= now)."""
+        ev = Event(self)
+        self._schedule(at, ev, None)
+        return ev
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        at, _, event, value = heapq.heappop(self._heap)
+        self.now = at
+        if not event.triggered:
+            event.succeed(value)
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the heap drains, a deadline passes, or an event fires.
+
+        * ``until=None`` — drain all scheduled events.
+        * ``until=<float>`` — advance the clock to that time.
+        * ``until=<Event>`` — run until the event triggers and return its
+          value (raising its exception on failure).  Raises :class:`SimError`
+          if the simulation deadlocks before the event triggers.
+        """
+        if self._running:
+            raise SimError("engine is not reentrant")
+        self._running = True
+        try:
+            if isinstance(until, Event):
+                while not until.triggered:
+                    if not self._heap:
+                        raise SimError(
+                            "deadlock: event heap empty before target event "
+                            "triggered"
+                        )
+                    self.step()
+                if until._exception is not None:
+                    raise until._exception
+                return until.value
+            if until is None:
+                while self._heap:
+                    self.step()
+                return None
+            deadline = float(until)
+            while self._heap and self._heap[0][0] <= deadline:
+                self.step()
+            self.now = max(self.now, deadline)
+            return None
+        finally:
+            self._running = False
+
+    @property
+    def queued(self) -> int:
+        return len(self._heap)
+
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "SimError",
+]

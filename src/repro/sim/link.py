@@ -1,0 +1,293 @@
+"""Fair-share bandwidth channels — the simulator's model of a wire.
+
+A :class:`Channel` serves concurrent flows by *progressive filling*: at any
+instant every active flow receives an equal share of the channel bandwidth
+``beta`` (weighted shares are supported for asymmetric device pairs).  When a
+flow starts or finishes, the remaining bytes of all active flows are
+re-integrated and completion times recomputed.  This is the standard fluid
+model of bandwidth sharing, and is exactly the second-order effect
+(contention) the paper's analytical model does *not* capture — which is what
+makes the model-vs-"measured" comparison in the benchmarks meaningful.
+
+Each transfer pays the channel latency ``alpha`` once, then enters the
+bandwidth phase.  NVLink-style full-duplex wires are modelled by giving the
+link two independent ``Channel`` instances (one per direction); shared media
+(host memory bandwidth, UPI in one model variant) use a single ``Channel``
+for both directions.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.engine import Engine, Event
+from repro.sim.trace import Tracer
+
+_EPS_BYTES = 1e-6
+
+
+class DuplexMode(enum.Enum):
+    """How the two directions of a link share the physical medium."""
+
+    FULL = "full"  # independent channel per direction (NVLink, PCIe lanes)
+    SHARED = "shared"  # both directions contend on one channel (DRAM, UPI)
+
+
+@dataclass
+class LinkFlow:
+    """One active transfer inside a channel's bandwidth phase."""
+
+    flow_id: int
+    remaining: float  # bytes still to serve
+    total: float  # bytes requested (post-jitter service demand)
+    weight: float
+    event: Event
+    tag: str
+    start_time: float
+    rate: float = 0.0
+    admitted_at: float = field(default=0.0)
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Value carried by a completed transfer event."""
+
+    nbytes: int
+    start: float
+    end: float
+    tag: str
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def bandwidth(self) -> float:
+        return self.nbytes / self.duration if self.duration > 0 else float("inf")
+
+
+class Channel:
+    """A latency/bandwidth resource with fair-share contention.
+
+    Parameters
+    ----------
+    engine:
+        The simulation engine.
+    name:
+        Stable identifier used in traces and calibration keys.
+    alpha:
+        Per-transfer startup latency in seconds.
+    beta:
+        Bandwidth in bytes/second shared by concurrent flows.
+    jitter:
+        Optional callable ``jitter(nbytes) -> multiplier`` applied to the
+        service demand of each transfer (deterministic noise injection).
+    tracer:
+        Optional :class:`~repro.sim.trace.Tracer` recording the timeline.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        alpha: float,
+        beta: float,
+        *,
+        jitter: Optional[Callable[[int], float]] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {alpha}")
+        if beta <= 0:
+            raise ValueError(f"beta must be > 0, got {beta}")
+        self.engine = engine
+        self.name = name
+        self.alpha = float(alpha)
+        self._beta = float(beta)
+        self.jitter = jitter
+        self.tracer = tracer
+        self._flows: dict[int, LinkFlow] = {}
+        self._next_flow_id = 0
+        self._last_sync = 0.0
+        self._wakeup_generation = 0
+        # statistics
+        self.total_bytes = 0
+        self.total_transfers = 0
+        self.busy_time = 0.0
+        self.max_concurrency = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def beta(self) -> float:
+        return self._beta
+
+    def set_beta(self, beta: float) -> None:
+        """Change the channel bandwidth at the current time (degradation)."""
+        if beta <= 0:
+            raise ValueError("beta must remain > 0")
+        self._sync()
+        self._beta = float(beta)
+        self._reschedule()
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    # ------------------------------------------------------------------
+    def transfer(
+        self,
+        nbytes: int,
+        *,
+        tag: str = "",
+        weight: float = 1.0,
+        skip_latency: bool = False,
+    ) -> Event:
+        """Start a transfer; the returned event succeeds on delivery.
+
+        The event value is a :class:`TransferResult`.  ``skip_latency`` lets
+        callers that have already accounted for startup (e.g. a pipelined
+        second hop overlapping the first hop's latency) bypass ``alpha``.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        if weight <= 0:
+            raise ValueError("weight must be > 0")
+        done = self.engine.event()
+        start = self.engine.now
+        demand = float(nbytes)
+        if self.jitter is not None and nbytes > 0:
+            demand *= float(self.jitter(nbytes))
+            if demand < 0:
+                raise ValueError("jitter produced negative demand")
+        flow = LinkFlow(
+            flow_id=self._next_flow_id,
+            remaining=demand,
+            total=demand,
+            weight=float(weight),
+            event=done,
+            tag=tag,
+            start_time=start,
+        )
+        self._next_flow_id += 1
+        latency = 0.0 if skip_latency else self.alpha
+        if nbytes == 0:
+            # Pure control message: latency only.
+            self.engine.call_at(start + latency).add_callback(
+                lambda _ev, f=flow: self._complete_zero(f)
+            )
+            return done
+        self.engine.call_at(start + latency).add_callback(
+            lambda _ev, f=flow: self._admit(f)
+        )
+        return done
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _complete_zero(self, flow: LinkFlow) -> None:
+        now = self.engine.now
+        self.total_transfers += 1
+        if self.tracer is not None:
+            self.tracer.record(self.name, flow.tag, flow.start_time, now, 0)
+        flow.event.succeed(
+            TransferResult(nbytes=0, start=flow.start_time, end=now, tag=flow.tag)
+        )
+
+    def _admit(self, flow: LinkFlow) -> None:
+        self._sync()
+        flow.admitted_at = self.engine.now
+        if flow.remaining <= _EPS_BYTES:
+            self._finish(flow)
+            self._reschedule()
+            return
+        self._flows[flow.flow_id] = flow
+        self.max_concurrency = max(self.max_concurrency, len(self._flows))
+        self._reschedule()
+
+    def _sync(self) -> None:
+        """Integrate progress of active flows since the last recompute."""
+        now = self.engine.now
+        elapsed = now - self._last_sync
+        if elapsed > 0 and self._flows:
+            self.busy_time += elapsed
+            for flow in self._flows.values():
+                flow.remaining = max(0.0, flow.remaining - flow.rate * elapsed)
+        self._last_sync = now
+
+    def _reschedule(self) -> None:
+        """Recompute fair-share rates and schedule the next wakeup."""
+        self._wakeup_generation += 1
+        if not self._flows:
+            return
+        total_weight = sum(f.weight for f in self._flows.values())
+        soonest = float("inf")
+        for flow in self._flows.values():
+            flow.rate = self._beta * flow.weight / total_weight
+            finish = flow.remaining / flow.rate
+            soonest = min(soonest, finish)
+        generation = self._wakeup_generation
+        self.engine.call_at(self.engine.now + soonest).add_callback(
+            lambda _ev: self._wake(generation)
+        )
+
+    @staticmethod
+    def _flow_done(flow: LinkFlow) -> bool:
+        # Size-relative epsilon: float error accumulates with flow size.
+        return flow.remaining <= max(_EPS_BYTES, 1e-9 * flow.total)
+
+    def _wake(self, generation: int) -> None:
+        if generation != self._wakeup_generation:
+            return  # superseded by a topology change
+        self._sync()
+        finished = [f for f in self._flows.values() if self._flow_done(f)]
+        if not finished and self._flows:
+            # Sub-resolution guard: when the nearest horizon is smaller than
+            # one ulp of the clock, force-complete it instead of spinning.
+            now = self.engine.now
+            horizons = [
+                (f.remaining / f.rate, f)
+                for f in self._flows.values()
+                if f.rate > 0
+            ]
+            if horizons:
+                min_h = min(h for h, _ in horizons)
+                if now + min_h <= now:
+                    finished = [f for h, f in horizons if h <= min_h * (1 + 1e-9)]
+        for flow in finished:
+            del self._flows[flow.flow_id]
+            self._finish(flow)
+        self._reschedule()
+
+    def _finish(self, flow: LinkFlow) -> None:
+        now = self.engine.now
+        nbytes = int(round(flow.total)) if self.jitter is None else flow.total
+        self.total_bytes += flow.total
+        self.total_transfers += 1
+        if self.tracer is not None:
+            self.tracer.record(self.name, flow.tag, flow.start_time, now, flow.total)
+        flow.event.succeed(
+            TransferResult(
+                nbytes=int(nbytes),
+                start=flow.start_time,
+                end=now,
+                tag=flow.tag,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def utilization(self, horizon: float | None = None) -> float:
+        """Fraction of time the channel had at least one active flow."""
+        horizon = self.engine.now if horizon is None else horizon
+        return self.busy_time / horizon if horizon > 0 else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Channel {self.name} alpha={self.alpha:.2e}s "
+            f"beta={self._beta:.3e}B/s flows={len(self._flows)}>"
+        )
+
+
+__all__ = ["Channel", "DuplexMode", "LinkFlow", "TransferResult"]

@@ -1,0 +1,99 @@
+"""Deterministic noise models for channel service times.
+
+Real links show run-to-run variation (DVFS, cache effects, background
+traffic).  The simulator is noise-free by default so unit tests are exact;
+experiments that want realistic scatter attach one of these jitter models to
+their channels.  All models are driven by a seeded generator, so a run is
+reproducible given its seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class LognormalJitter:
+    """Multiplicative lognormal jitter with mean 1.
+
+    ``sigma`` is the log-space standard deviation; typical measured link
+    variation corresponds to sigma in [0.005, 0.05].
+    """
+
+    def __init__(self, rng: np.random.Generator, sigma: float = 0.01) -> None:
+        if sigma < 0:
+            raise ValueError("sigma must be >= 0")
+        self.rng = rng
+        self.sigma = float(sigma)
+        # E[lognormal(mu, sigma)] = exp(mu + sigma^2/2) == 1 for this mu:
+        self._mu = -0.5 * self.sigma**2
+
+    def __call__(self, nbytes: int) -> float:
+        if self.sigma == 0:
+            return 1.0
+        return float(self.rng.lognormal(self._mu, self.sigma))
+
+
+class BurstSlowdown:
+    """Occasional slow transfers (straggler model).
+
+    With probability ``prob`` a transfer is slowed by ``factor``; otherwise
+    it is unaffected.  Used by failure-injection tests to check that the
+    dynamic planner still beats single-path under stragglers.
+    """
+
+    def __init__(
+        self, rng: np.random.Generator, prob: float = 0.01, factor: float = 3.0
+    ) -> None:
+        if not 0 <= prob <= 1:
+            raise ValueError("prob must be in [0, 1]")
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        self.rng = rng
+        self.prob = float(prob)
+        self.factor = float(factor)
+
+    def __call__(self, nbytes: int) -> float:
+        return self.factor if self.rng.random() < self.prob else 1.0
+
+
+class SizeDependentEfficiency:
+    """Bandwidth efficiency that ramps up with message size.
+
+    Real links only reach asymptotic bandwidth for large transfers; small
+    transfers see protocol overhead beyond the fixed alpha.  The service
+    demand is multiplied by ``1 + knee/nbytes`` so that transfers much larger
+    than ``knee`` bytes are unaffected while small ones slow down.  This is
+    one of the effects behind the paper's Observation 4 (the model
+    over-estimates performance for small messages).
+    """
+
+    def __init__(self, knee_bytes: float = 256 * 1024) -> None:
+        if knee_bytes < 0:
+            raise ValueError("knee_bytes must be >= 0")
+        self.knee_bytes = float(knee_bytes)
+
+    def __call__(self, nbytes: int) -> float:
+        if nbytes <= 0:
+            return 1.0
+        return 1.0 + self.knee_bytes / float(nbytes)
+
+
+class ComposedJitter:
+    """Product of several jitter models."""
+
+    def __init__(self, *models) -> None:
+        self.models = models
+
+    def __call__(self, nbytes: int) -> float:
+        out = 1.0
+        for m in self.models:
+            out *= m(nbytes)
+        return out
+
+
+__all__ = [
+    "LognormalJitter",
+    "BurstSlowdown",
+    "SizeDependentEfficiency",
+    "ComposedJitter",
+]

@@ -1,0 +1,100 @@
+"""Auxiliary simulation resources: counting semaphores and FIFO stores.
+
+* :class:`Semaphore` models bounded concurrency (GPU copy engines, PCIe
+  doorbells).  ``acquire`` returns an event that succeeds once a slot is
+  granted; grants are strictly FIFO so the simulator stays deterministic.
+* :class:`Store` is an unbounded message mailbox used by the MPI layer for
+  matching sends to receives.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.sim.engine import Engine, Event
+
+
+class Semaphore:
+    """FIFO counting semaphore."""
+
+    def __init__(self, engine: Engine, capacity: int, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+        self.max_in_use = 0
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    def acquire(self) -> Event:
+        """Request a slot; the event succeeds when the slot is granted."""
+        ev = self.engine.event()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            self.max_in_use = max(self.max_in_use, self._in_use)
+            ev.succeed(None)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise RuntimeError(f"semaphore {self.name!r} released below zero")
+        if self._waiters:
+            # Hand the slot directly to the next waiter.
+            self._waiters.popleft().succeed(None)
+        else:
+            self._in_use -= 1
+
+    def held(self) -> int:
+        return self._in_use
+
+
+class Store:
+    """Unbounded FIFO of items with event-based ``get``.
+
+    ``put`` never blocks.  ``get`` returns an event that succeeds with the
+    next item, immediately when one is buffered.  A ``match`` predicate
+    supports tag/source matching for the MPI layer.
+    """
+
+    def __init__(self, engine: Engine, name: str = "") -> None:
+        self.engine = engine
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        # Try to satisfy a waiting getter (in FIFO order) first.
+        for i, (ev, match) in enumerate(self._getters):
+            if match is None or match(item):
+                del self._getters[i]
+                ev.succeed(item)
+                return
+        self._items.append(item)
+
+    def get(self, match=None) -> Event:
+        """Event succeeding with the first buffered item accepted by ``match``."""
+        ev = self.engine.event()
+        for i, item in enumerate(self._items):
+            if match is None or match(item):
+                del self._items[i]
+                ev.succeed(item)
+                return ev
+        self._getters.append((ev, match))
+        return ev
+
+    def peek_all(self) -> list[Any]:
+        return list(self._items)
+
+
+__all__ = ["Semaphore", "Store"]

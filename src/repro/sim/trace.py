@@ -1,0 +1,84 @@
+"""Timeline tracing for simulated transfers.
+
+A :class:`Tracer` collects :class:`TraceRecord` entries (one per completed
+channel transfer).  Experiments use traces to assert pipeline overlap
+properties (e.g. that chunk ``c+1``'s first hop overlaps chunk ``c``'s
+second hop) and to render per-link utilisation summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    channel: str
+    tag: str
+    start: float
+    end: float
+    nbytes: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Tracer:
+    """Append-only trace sink with simple query helpers."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.records: list[TraceRecord] = []
+
+    def record(
+        self, channel: str, tag: str, start: float, end: float, nbytes: float
+    ) -> None:
+        if self.enabled:
+            self.records.append(TraceRecord(channel, tag, start, end, nbytes))
+
+    # ------------------------------------------------------------------
+    def for_channel(self, channel: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.channel == channel]
+
+    def for_tag_prefix(self, prefix: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.tag.startswith(prefix)]
+
+    def total_bytes(self, channel: str | None = None) -> float:
+        return sum(
+            r.nbytes for r in self.records if channel is None or r.channel == channel
+        )
+
+    def makespan(self) -> float:
+        if not self.records:
+            return 0.0
+        return max(r.end for r in self.records) - min(r.start for r in self.records)
+
+    @staticmethod
+    def overlap(a: TraceRecord, b: TraceRecord) -> float:
+        """Length of the time interval where both records are active."""
+        return max(0.0, min(a.end, b.end) - max(a.start, b.start))
+
+    def concurrency_profile(
+        self, records: Iterable[TraceRecord] | None = None
+    ) -> list[tuple[float, int]]:
+        """(time, active-count) steps over the given records."""
+        recs = list(self.records if records is None else records)
+        edges: list[tuple[float, int]] = []
+        for r in recs:
+            edges.append((r.start, +1))
+            edges.append((r.end, -1))
+        edges.sort()
+        profile = []
+        active = 0
+        for t, delta in edges:
+            active += delta
+            profile.append((t, active))
+        return profile
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+__all__ = ["Tracer", "TraceRecord"]

@@ -1,0 +1,35 @@
+"""Hardware topology descriptions and path enumeration.
+
+A :class:`~repro.topology.node.NodeTopology` describes one multi-GPU node:
+GPUs, NUMA domains, and the physical channels between them (NVLink wires,
+PCIe lanes, UPI socket links, DRAM staging bandwidth).  It can
+
+* enumerate the candidate communication paths between two GPUs
+  (:mod:`repro.topology.routing`): the direct link, GPU-staged detours and
+  the host-staged path of the paper's Figure 2(b);
+* instantiate a :class:`~repro.sim.fabric.Fabric` with one channel per
+  physical resource for simulation.
+
+:mod:`repro.topology.systems` provides the two evaluation platforms of the
+paper (Beluga, Narval) plus future-work systems (NVSwitch DGX, AMD XGMI).
+"""
+
+from repro.topology.links import LinkKind, LinkSpec, CATALOG
+from repro.topology.node import NodeTopology, TopologyBuilder
+from repro.topology.routing import Hop, PathDescriptor, PathKind, enumerate_paths
+from repro.topology.cluster import ClusterTopology
+from repro.topology import systems
+
+__all__ = [
+    "LinkKind",
+    "LinkSpec",
+    "CATALOG",
+    "NodeTopology",
+    "TopologyBuilder",
+    "PathDescriptor",
+    "PathKind",
+    "Hop",
+    "enumerate_paths",
+    "ClusterTopology",
+    "systems",
+]

@@ -1,0 +1,93 @@
+"""The UCX context: ties topology, runtime, planner, and pipeline together.
+
+Fig. 2a, Step 2: at startup the context loads the calibrated model (from a
+:class:`~repro.ucx.registry.ModelRegistry` or an explicit store) and wires
+the cuda_ipc module to the planner and pipeline engine.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.params import ParameterStore
+from repro.core.planner import PathPlanner
+from repro.gpu.runtime import GPURuntime
+from repro.sim.engine import Engine
+from repro.sim.trace import Tracer
+from repro.topology.node import NodeTopology
+from repro.ucx.cuda_ipc import CudaIpcModule
+from repro.ucx.endpoint import Endpoint
+from repro.ucx.pipeline import PipelineEngine
+from repro.ucx.tuning import TransportConfig
+
+
+class UCXContext:
+    """One node's transport state."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        topology: NodeTopology,
+        *,
+        config: TransportConfig | None = None,
+        store: ParameterStore | None = None,
+        tracer: Tracer | None = None,
+        jitter_factory: Callable | None = None,
+        ipc_open_cost: float | None = None,
+    ) -> None:
+        self.engine = engine
+        self.topology = topology
+        self.config = config if config is not None else TransportConfig()
+        self.tracer = tracer
+        self.runtime = GPURuntime(
+            engine,
+            topology,
+            tracer=tracer,
+            jitter_factory=jitter_factory,
+            ipc_open_cost=ipc_open_cost,
+        )
+        self.store = store if store is not None else ParameterStore.ground_truth(topology)
+        self.planner = PathPlanner(
+            topology,
+            self.store,
+            pipelining=self.config.pipelining,
+            sequential_initiation=self.config.sequential_initiation,
+            alignment=self.config.planner_alignment,
+            max_chunks=self.config.max_chunks,
+        )
+        self.pipeline = PipelineEngine(self.runtime)
+        self.cuda_ipc = CudaIpcModule(self)
+        self._endpoints: dict[tuple[int, int], Endpoint] = {}
+
+    # ------------------------------------------------------------------
+    def endpoint(self, src: int, dst: int) -> Endpoint:
+        """Get (or create) the endpoint for a device pair."""
+        key = (src, dst)
+        ep = self._endpoints.get(key)
+        if ep is None:
+            ep = Endpoint(self, src, dst)
+            self._endpoints[key] = ep
+        return ep
+
+    def put(self, src: int, dst: int, nbytes: int, *, tag: str = ""):
+        """Convenience passthrough to the cuda_ipc module."""
+        return self.cuda_ipc.put(src, dst, nbytes, tag=tag)
+
+    def reconfigure(self, config: TransportConfig) -> None:
+        """Swap the transport configuration (planner knobs follow).
+
+        The planner cache is invalidated because pipelining/alignment
+        decisions may change.
+        """
+        self.config = config
+        self.planner = PathPlanner(
+            self.topology,
+            self.store,
+            pipelining=config.pipelining,
+            sequential_initiation=config.sequential_initiation,
+            alignment=config.planner_alignment,
+            max_chunks=config.max_chunks,
+        )
+
+
+__all__ = ["UCXContext"]

@@ -1,0 +1,201 @@
+"""The cuda_ipc transport module (paper Fig. 2a, Steps 3–4).
+
+Every GPU-to-GPU transfer lands here.  The module
+
+* charges the per-request software overhead and opens (cached) IPC handles;
+* picks the protocol: **eager** below the rendezvous threshold — a single
+  copy on the best single path — or **rendezvous** with a handshake;
+* for rendezvous transfers, obtains the path configuration from one of
+  three sources matching the paper's evaluated configurations: the runtime
+  model (*dynamic*), a fixed offline distribution (*static*), or the single
+  direct path (*baseline*);
+* hands the configuration to the pipeline engine (Step 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.chunking import effective_params
+from repro.core.planner import PathAssignment, TransferPlan
+from repro.sim.engine import Event
+from repro.topology.routing import enumerate_paths
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ucx.context import UCXContext
+
+
+@dataclass(frozen=True)
+class PutResult:
+    """Completion record of a one-sided PUT."""
+
+    src: int
+    dst: int
+    nbytes: int
+    protocol: str  # "eager" | "rndv"
+    mode: str  # "dynamic" | "static" | "single"
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def bandwidth(self) -> float:
+        return self.nbytes / self.duration if self.duration > 0 else 0.0
+
+
+class CudaIpcModule:
+    """Routes transfers through the planner and pipeline engine."""
+
+    def __init__(self, context: "UCXContext") -> None:
+        self.context = context
+        self.puts_issued = 0
+
+    # ------------------------------------------------------------------
+    def put(self, src: int, dst: int, nbytes: int, *, tag: str = "") -> Event:
+        """One-sided PUT; returns the process event (value: PutResult)."""
+        if nbytes < 0:
+            raise ValueError("negative PUT size")
+        self.puts_issued += 1
+        return self.context.engine.process(
+            self._put_proc(src, dst, nbytes, tag), name=f"put:{src}->{dst}"
+        )
+
+    def _put_proc(self, src: int, dst: int, nbytes: int, tag: str):
+        ctx = self.context
+        cfg = ctx.config
+        engine = ctx.engine
+        start = engine.now
+
+        # Per-request software cost + (cached) IPC handle translation.
+        if cfg.request_overhead > 0:
+            yield engine.timeout(cfg.request_overhead)
+        yield ctx.runtime.open_ipc(src, dst)
+
+        eager = nbytes < cfg.rndv_threshold
+        if eager:
+            if cfg.eager_overhead > 0:
+                yield engine.timeout(cfg.eager_overhead)
+            plan = self._single_path_plan(src, dst, nbytes)
+            mode = "single"
+            protocol = "eager"
+        else:
+            if cfg.rndv_overhead > 0:
+                yield engine.timeout(cfg.rndv_overhead)  # RTS/CTS handshake
+            protocol = "rndv"
+            if not cfg.multipath:
+                plan = self._single_path_plan(src, dst, nbytes)
+                mode = "single"
+            elif cfg.static_shares:
+                plan = self._static_plan(src, dst, nbytes)
+                mode = "static"
+            else:
+                plan = ctx.planner.plan(
+                    src,
+                    dst,
+                    nbytes,
+                    include_host=cfg.include_host,
+                    max_gpu_staged=cfg.max_gpu_staged,
+                    exclude=cfg.exclude_paths,
+                )
+                mode = "dynamic"
+        yield ctx.pipeline.execute(plan, tag=tag or f"put{self.puts_issued}")
+        return PutResult(
+            src=src,
+            dst=dst,
+            nbytes=nbytes,
+            protocol=protocol,
+            mode=mode,
+            start=start,
+            end=engine.now,
+        )
+
+    # ------------------------------------------------------------------
+    def _paths(self, src: int, dst: int, *, single: bool = False):
+        cfg = self.context.config
+        if single:
+            # Prefer the direct path; degenerate systems fall back to the
+            # first available (host-staged on PCIe-only nodes).
+            return enumerate_paths(
+                self.context.topology, src, dst, include_host=True
+            )
+        return enumerate_paths(
+            self.context.topology,
+            src,
+            dst,
+            include_host=cfg.include_host,
+            max_gpu_staged=cfg.max_gpu_staged,
+            exclude=cfg.exclude_paths,
+        )
+
+    def _assignment(self, path, nbytes: int, theta: float, chunks: int) -> PathAssignment:
+        params = self.context.planner.store.path_params(path)
+        return PathAssignment(
+            path=path,
+            params=params,
+            effective=effective_params(params, None),
+            theta=theta,
+            nbytes=nbytes,
+            chunks=chunks,
+        )
+
+    def _single_path_plan(self, src: int, dst: int, nbytes: int) -> TransferPlan:
+        paths = self._paths(src, dst, single=True)
+        best = paths[0]  # canonical order puts direct first when it exists
+        a = self._assignment(best, nbytes, 1.0, 1)
+        return TransferPlan(
+            src=src,
+            dst=dst,
+            nbytes=nbytes,
+            assignments=(a,),
+            predicted_time=max(a.params.alpha1, 1e-12),
+        )
+
+    def _static_plan(self, src: int, dst: int, nbytes: int) -> TransferPlan:
+        cfg = self.context.config
+        paths = self._paths(src, dst)
+        # Static shares are tuned offline on one reference pair; apply them
+        # to any pair by *role*: "direct" -> the direct path, "gpu:*" ->
+        # the i-th GPU-staged candidate of this pair, "host" -> host.
+        by_kind = {p.path_id: p for p in paths if p.via is None}
+        gpu_staged = [p for p in paths if p.via is not None]
+        resolved = []
+        staged_cursor = 0
+        for share in cfg.static_shares:
+            if share.path_id.startswith("gpu:"):
+                if staged_cursor >= len(gpu_staged):
+                    raise KeyError(
+                        f"static share {share.path_id!r} has no staged "
+                        f"candidate left for pair ({src}, {dst})"
+                    )
+                resolved.append((gpu_staged[staged_cursor], share))
+                staged_cursor += 1
+            elif share.path_id in by_kind:
+                resolved.append((by_kind[share.path_id], share))
+            else:
+                raise KeyError(
+                    f"static share references unavailable path {share.path_id!r} "
+                    f"for pair ({src}, {dst})"
+                )
+        assignments = []
+        assigned = 0
+        for i, (path, share) in enumerate(resolved):
+            is_last = i == len(resolved) - 1
+            nb = nbytes - assigned if is_last else int(share.fraction * nbytes)
+            assigned += nb
+            assignments.append(
+                self._assignment(path, nb, share.fraction, share.chunks)
+            )
+        return TransferPlan(
+            src=src,
+            dst=dst,
+            nbytes=nbytes,
+            assignments=tuple(assignments),
+            predicted_time=max(a.params.alpha1 for a in assignments),
+        )
+
+
+__all__ = ["CudaIpcModule", "PutResult"]

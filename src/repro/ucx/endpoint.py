@@ -1,0 +1,49 @@
+"""Endpoints: the per-device-pair handle applications talk to."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.engine import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ucx.context import UCXContext
+
+
+class Endpoint:
+    """A (src, dst) device pair's transfer handle.
+
+    One-sided semantics: :meth:`put` pushes ``nbytes`` from the source
+    device's memory into the destination's; :meth:`get` is the mirrored
+    pull (implemented as a put from the remote side, which is how UCX's
+    cuda_ipc GET works for IPC-mapped memory).
+    """
+
+    def __init__(self, context: "UCXContext", src: int, dst: int) -> None:
+        if src == dst:
+            raise ValueError("endpoint requires distinct devices")
+        self.context = context
+        self.src = src
+        self.dst = dst
+        self.bytes_put = 0
+        self.puts = 0
+
+    def put(self, nbytes: int, *, tag: str = "") -> Event:
+        """Start a one-sided PUT; the event's value is a PutResult."""
+        self.puts += 1
+        self.bytes_put += nbytes
+        return self.context.cuda_ipc.put(self.src, self.dst, nbytes, tag=tag)
+
+    def get(self, nbytes: int, *, tag: str = "") -> Event:
+        """One-sided GET: data flows dst→src."""
+        return self.context.cuda_ipc.put(self.dst, self.src, nbytes, tag=tag)
+
+    def flush(self) -> Event:
+        """Barrier over this pair's pipeline streams."""
+        return self.context.runtime.synchronize_all()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Endpoint {self.src}->{self.dst} puts={self.puts}>"
+
+
+__all__ = ["Endpoint"]

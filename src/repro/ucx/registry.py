@@ -1,0 +1,71 @@
+"""Per-topology model parameter registry (paper Fig. 2a, Step 1).
+
+The paper extracts model parameters once per system topology and stores
+them on each compute node; at program startup UCX loads them into its
+context.  :class:`ModelRegistry` reproduces that: it maps a system name to
+its calibrated :class:`~repro.core.params.ParameterStore`, with optional
+JSON persistence in a directory (one file per system).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.core.params import ParameterStore
+
+
+class ModelRegistry:
+    """Named parameter stores with optional on-disk persistence."""
+
+    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        self._stores: dict[str, ParameterStore] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, name: str, store: ParameterStore) -> None:
+        self._stores[name] = store
+
+    def get(self, name: str) -> ParameterStore:
+        if name in self._stores:
+            return self._stores[name]
+        if self.directory is not None:
+            path = self._path(name)
+            if path.exists():
+                store = ParameterStore.from_json(path.read_text())
+                self._stores[name] = store
+                return store
+        raise KeyError(
+            f"no calibrated parameters for system {name!r}; "
+            "run calibration (repro.bench.calibrate) first"
+        )
+
+    def __contains__(self, name: str) -> bool:
+        if name in self._stores:
+            return True
+        return self.directory is not None and self._path(name).exists()
+
+    def names(self) -> list[str]:
+        found = set(self._stores)
+        if self.directory is not None and self.directory.exists():
+            found |= {
+                p.name.removesuffix(".model.json")
+                for p in self.directory.glob("*.model.json")
+            }
+        return sorted(found)
+
+    # ------------------------------------------------------------------
+    def save(self, name: str) -> Path:
+        if self.directory is None:
+            raise ValueError("registry has no persistence directory")
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(name)
+        path.write_text(self.get(name).to_json())
+        return path
+
+    def _path(self, name: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{name}.model.json"
+
+
+__all__ = ["ModelRegistry"]

@@ -1,0 +1,107 @@
+"""Environment-variable-style transport configuration.
+
+The paper's framework is controlled through UCX-like environment variables
+(path include/exclude, §4).  :class:`TransportConfig` is the typed form;
+:func:`TransportConfig.from_env` parses a string dict using the same
+conventions (``y``/``n`` flags, comma-separated lists) so experiments can be
+configured the way the paper's runs were.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, replace
+
+from repro.units import KiB, parse_size, us
+
+
+@dataclass(frozen=True)
+class StaticShare:
+    """A fixed (offline-tuned) distribution entry for the static baseline."""
+
+    path_id: str
+    fraction: float
+    chunks: int = 1
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """All knobs of the simulated MPI+UCX transport."""
+
+    # Multi-path engine
+    multipath: bool = True  # False => always the single direct path
+    include_host: bool = True
+    max_gpu_staged: int | None = None
+    exclude_paths: tuple[str, ...] = ()
+    pipelining: bool = True
+    max_chunks: int = 64
+    sequential_initiation: bool = True
+    # Static baseline: when set, use these fixed shares instead of the model
+    static_shares: tuple[StaticShare, ...] = ()
+    # Protocol thresholds / overheads
+    rndv_threshold: int = 512 * KiB  # below: eager single-path
+    rndv_overhead: float = 3.0 * us  # RTS/CTS handshake cost
+    eager_overhead: float = 1.0 * us
+    request_overhead: float = 0.4 * us  # per-request software cost
+    planner_alignment: int = 256
+
+    def __post_init__(self) -> None:
+        if self.rndv_threshold < 0:
+            raise ValueError("rndv_threshold must be >= 0")
+        if self.max_chunks < 1:
+            raise ValueError("max_chunks must be >= 1")
+        if any(o < 0 for o in (self.rndv_overhead, self.eager_overhead, self.request_overhead)):
+            raise ValueError("overheads must be >= 0")
+        total = sum(s.fraction for s in self.static_shares)
+        if self.static_shares and abs(total - 1.0) > 1e-6:
+            raise ValueError(f"static shares must sum to 1, got {total}")
+
+    # ------------------------------------------------------------------
+    def with_(self, **changes) -> "TransportConfig":
+        """Functional update (config objects are immutable)."""
+        return replace(self, **changes)
+
+    @classmethod
+    def single_path(cls) -> "TransportConfig":
+        """The library-default baseline: one direct path, no splitting."""
+        return cls(multipath=False, include_host=False)
+
+    @classmethod
+    def from_env(cls, env: Mapping[str, str]) -> "TransportConfig":
+        """Parse UCX-style variables, e.g.::
+
+            UCX_MP_ENABLE=y UCX_MP_INCLUDE_HOST=n UCX_MP_EXCLUDE=gpu:3
+            UCX_MP_MAX_CHUNKS=32 UCX_RNDV_THRESH=512K
+        """
+        def flag(key: str, default: bool) -> bool:
+            raw = env.get(key)
+            if raw is None:
+                return default
+            v = raw.strip().lower()
+            if v in ("y", "yes", "1", "true", "on"):
+                return True
+            if v in ("n", "no", "0", "false", "off"):
+                return False
+            raise ValueError(f"{key}: cannot parse boolean {raw!r}")
+
+        cfg = cls(
+            multipath=flag("UCX_MP_ENABLE", True),
+            include_host=flag("UCX_MP_INCLUDE_HOST", True),
+            pipelining=flag("UCX_MP_PIPELINE", True),
+            sequential_initiation=flag("UCX_MP_SEQ_INIT", True),
+        )
+        if "UCX_MP_MAX_GPU_STAGED" in env:
+            cfg = cfg.with_(max_gpu_staged=int(env["UCX_MP_MAX_GPU_STAGED"]))
+        if "UCX_MP_EXCLUDE" in env:
+            items = tuple(
+                s.strip() for s in env["UCX_MP_EXCLUDE"].split(",") if s.strip()
+            )
+            cfg = cfg.with_(exclude_paths=items)
+        if "UCX_MP_MAX_CHUNKS" in env:
+            cfg = cfg.with_(max_chunks=int(env["UCX_MP_MAX_CHUNKS"]))
+        if "UCX_RNDV_THRESH" in env:
+            cfg = cfg.with_(rndv_threshold=parse_size(env["UCX_RNDV_THRESH"]))
+        return cfg
+
+
+__all__ = ["TransportConfig", "StaticShare"]

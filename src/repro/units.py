@@ -1,0 +1,135 @@
+"""Unit constants and helpers used across the library.
+
+All internal simulator and model computation uses **seconds** for time and
+**bytes** for data sizes.  Bandwidths are in **bytes/second**.  This module
+provides the conversion constants and formatting helpers so that call sites
+never embed magic numbers.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Data sizes (binary prefixes, matching OSU micro-benchmark conventions)
+# ---------------------------------------------------------------------------
+KiB: int = 1 << 10
+MiB: int = 1 << 20
+GiB: int = 1 << 30
+
+# Decimal prefixes (used for quoting bandwidths the way vendors do)
+KB: int = 10**3
+MB: int = 10**6
+GB: int = 10**9
+
+# ---------------------------------------------------------------------------
+# Time
+# ---------------------------------------------------------------------------
+SECOND: float = 1.0
+MILLISECOND: float = 1e-3
+MICROSECOND: float = 1e-6
+NANOSECOND: float = 1e-9
+
+# Aliases matching the notation of the paper (alpha in microseconds is the
+# common way link latencies are quoted).
+us = MICROSECOND
+ms = MILLISECOND
+ns = NANOSECOND
+
+
+def gbps(value: float) -> float:
+    """Convert a bandwidth quoted in GB/s (decimal) to bytes/second."""
+    return value * GB
+
+
+def gibps(value: float) -> float:
+    """Convert a bandwidth quoted in GiB/s (binary) to bytes/second."""
+    return value * GiB
+
+
+def to_gbps(bytes_per_second: float) -> float:
+    """Convert bytes/second to GB/s (decimal) for reporting."""
+    return bytes_per_second / GB
+
+
+def format_bytes(n: float) -> str:
+    """Human-readable byte count (binary units), e.g. ``format_bytes(2*MiB)``."""
+    n = float(n)
+    for unit, name in ((GiB, "GiB"), (MiB, "MiB"), (KiB, "KiB")):
+        if abs(n) >= unit:
+            value = n / unit
+            if value == int(value):
+                return f"{int(value)}{name}"
+            return f"{value:.2f}{name}"
+    return f"{int(n)}B"
+
+
+def format_time(seconds: float) -> str:
+    """Human-readable time, e.g. ``format_time(3.2e-6) == '3.200us'``."""
+    s = float(seconds)
+    if abs(s) >= 1.0:
+        return f"{s:.3f}s"
+    if abs(s) >= MILLISECOND:
+        return f"{s / MILLISECOND:.3f}ms"
+    if abs(s) >= MICROSECOND:
+        return f"{s / MICROSECOND:.3f}us"
+    return f"{s / NANOSECOND:.1f}ns"
+
+
+def format_bandwidth(bytes_per_second: float) -> str:
+    """Human-readable bandwidth in GB/s or MB/s."""
+    b = float(bytes_per_second)
+    if abs(b) >= GB:
+        return f"{b / GB:.2f}GB/s"
+    return f"{b / MB:.2f}MB/s"
+
+
+def parse_size(text: str) -> int:
+    """Parse a size string such as ``"4MiB"``, ``"512K"``, ``"1G"`` to bytes.
+
+    Bare suffixes K/M/G are interpreted as binary (KiB/MiB/GiB) to match the
+    message-size axes of OSU benchmarks.
+    """
+    s = text.strip()
+    multipliers = {
+        "GIB": GiB,
+        "MIB": MiB,
+        "KIB": KiB,
+        "GB": GB,
+        "MB": MB,
+        "KB": KB,
+        "G": GiB,
+        "M": MiB,
+        "K": KiB,
+        "B": 1,
+    }
+    upper = s.upper()
+    for suffix in sorted(multipliers, key=len, reverse=True):
+        if upper.endswith(suffix):
+            number = s[: len(s) - len(suffix)].strip()
+            if not number:
+                raise ValueError(f"missing numeric part in size {text!r}")
+            return int(float(number) * multipliers[suffix])
+    return int(float(s))
+
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "KB",
+    "MB",
+    "GB",
+    "SECOND",
+    "MILLISECOND",
+    "MICROSECOND",
+    "NANOSECOND",
+    "us",
+    "ms",
+    "ns",
+    "gbps",
+    "gibps",
+    "to_gbps",
+    "format_bytes",
+    "format_time",
+    "format_bandwidth",
+    "parse_size",
+]

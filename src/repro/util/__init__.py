@@ -1,0 +1,8 @@
+"""Small shared utilities: deterministic RNG, tables, caching, ascii plots."""
+
+from repro.util.rng import make_rng, spawn_rng
+from repro.util.tables import Table
+from repro.util.cache import LRUCache
+from repro.util.ascii_plot import ascii_series
+
+__all__ = ["make_rng", "spawn_rng", "Table", "LRUCache", "ascii_series"]

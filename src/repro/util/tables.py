@@ -1,0 +1,136 @@
+"""Lightweight result tables for the benchmark harness.
+
+The harness reports every figure/table of the paper as a :class:`Table` —
+an ordered list of dict rows with typed columns — which can be printed as
+aligned text, exported as CSV, or filtered/grouped for the error analysis.
+No pandas dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from typing import Any
+
+
+class Table:
+    """An ordered collection of rows with a fixed column order.
+
+    >>> t = Table(["size", "bw"])
+    >>> t.add(size=1, bw=2.0)
+    >>> t.rows[0]["bw"]
+    2.0
+    """
+
+    def __init__(self, columns: Sequence[str], title: str = "") -> None:
+        self.columns = list(columns)
+        self.title = title
+        self.rows: list[dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, **row: Any) -> None:
+        """Append a row; every key must be a known column."""
+        unknown = set(row) - set(self.columns)
+        if unknown:
+            raise KeyError(f"unknown columns {sorted(unknown)}; have {self.columns}")
+        self.rows.append({c: row.get(c) for c in self.columns})
+
+    def extend(self, rows: Iterable[Mapping[str, Any]]) -> None:
+        for row in rows:
+            self.add(**dict(row))
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def column(self, name: str) -> list[Any]:
+        if name not in self.columns:
+            raise KeyError(name)
+        return [r[name] for r in self.rows]
+
+    def where(self, **criteria: Any) -> "Table":
+        """Rows matching all equality criteria, as a new Table."""
+        out = Table(self.columns, self.title)
+        for r in self.rows:
+            if all(r.get(k) == v for k, v in criteria.items()):
+                out.rows.append(dict(r))
+        return out
+
+    def select(self, predicate: Callable[[Mapping[str, Any]], bool]) -> "Table":
+        out = Table(self.columns, self.title)
+        out.rows = [dict(r) for r in self.rows if predicate(r)]
+        return out
+
+    def groupby(self, *keys: str) -> dict[tuple, "Table"]:
+        groups: dict[tuple, Table] = {}
+        for r in self.rows:
+            k = tuple(r[key] for key in keys)
+            groups.setdefault(k, Table(self.columns, self.title)).rows.append(dict(r))
+        return groups
+
+    def sort(self, *keys: str, reverse: bool = False) -> "Table":
+        out = Table(self.columns, self.title)
+        out.rows = sorted(
+            (dict(r) for r in self.rows),
+            key=lambda r: tuple(r[k] for k in keys),
+            reverse=reverse,
+        )
+        return out
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _fmt(value: Any) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1e5 or abs(value) < 1e-3:
+                return f"{value:.3e}"
+            return f"{value:.4g}"
+        return str(value)
+
+    def render(self, max_rows: int | None = None) -> str:
+        """Aligned plain-text rendering."""
+        rows = self.rows if max_rows is None else self.rows[:max_rows]
+        cells = [[self._fmt(r[c]) for c in self.columns] for r in rows]
+        widths = [
+            max([len(c)] + [len(row[i]) for row in cells])
+            for i, c in enumerate(self.columns)
+        ]
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(v.ljust(widths[i]) for i, v in enumerate(row)))
+        if max_rows is not None and len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        buf = io.StringIO()
+        writer = csv.DictWriter(buf, fieldnames=self.columns)
+        writer.writeheader()
+        writer.writerows(self.rows)
+        return buf.getvalue()
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+__all__ = ["Table"]

@@ -1,0 +1,119 @@
+"""Tests for parameter extraction (calibration)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.calibrate import (
+    calibrate,
+    calibrate_hop,
+    calibrate_launch_overhead,
+    fit_hockney,
+)
+from repro.bench.env import default_jitter_factory
+from repro.core.params import ParameterStore
+from repro.topology import systems
+from repro.topology.routing import enumerate_paths
+from repro.units import MiB, gbps, us
+
+
+@pytest.fixture(scope="module")
+def beluga_store():
+    topo = systems.beluga()
+    return topo, calibrate(topo)
+
+
+class TestFitHockney:
+    def test_exact_recovery(self):
+        alpha, beta = 3 * us, gbps(20)
+        sizes = np.array([1, 4, 16, 64]) * MiB
+        times = alpha + sizes / beta
+        est = fit_hockney(sizes, times)
+        assert est.alpha == pytest.approx(alpha, rel=1e-6)
+        assert est.beta == pytest.approx(beta, rel=1e-6)
+        assert est.r_squared == pytest.approx(1.0)
+
+    def test_noisy_fit_r_squared(self):
+        rng = np.random.default_rng(0)
+        sizes = np.linspace(1, 64, 20) * MiB
+        times = 2 * us + sizes / gbps(10)
+        times *= 1 + rng.normal(0, 0.02, times.size)
+        est = fit_hockney(sizes, times)
+        assert 0.9 < est.r_squared <= 1.0
+        assert est.beta == pytest.approx(gbps(10), rel=0.1)
+
+    def test_negative_intercept_clamped(self):
+        sizes = np.array([1, 2]) * MiB
+        times = sizes / gbps(10) - 1 * us  # slightly negative intercept
+        est = fit_hockney(sizes, times)
+        assert est.alpha == 0.0
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            fit_hockney(np.array([1.0]), np.array([1.0]))
+
+    def test_flat_times_rejected(self):
+        with pytest.raises(ValueError, match="slope"):
+            fit_hockney(np.array([1, 2, 3]) * MiB, np.array([5.0, 5.0, 5.0]) * us)
+
+
+class TestCalibrationAccuracy:
+    def test_noise_free_recovers_ground_truth(self, beluga_store):
+        """Without jitter, calibration must recover the true (α, β, ε)."""
+        topo, store = beluga_store
+        truth = ParameterStore.ground_truth(topo)
+        hop = topo.direct_hop(0, 1)
+        est = store.link(hop)
+        exact = truth.link(hop)
+        assert est.alpha == pytest.approx(exact.alpha, rel=1e-6)
+        assert est.beta == pytest.approx(exact.beta, rel=1e-6)
+        assert store.epsilon("gpu") == pytest.approx(topo.sync.gpu, rel=1e-3)
+        assert store.epsilon("host") == pytest.approx(topo.sync.host, rel=1e-3)
+
+    def test_covers_every_path_hop(self, beluga_store):
+        topo, store = beluga_store
+        for src in range(topo.num_gpus):
+            for dst in range(topo.num_gpus):
+                if src == dst:
+                    continue
+                for path in enumerate_paths(topo, src, dst):
+                    for hop in path.hops:
+                        assert store.has_link(hop)
+
+    def test_phi_set_for_staged_paths(self, beluga_store):
+        _, store = beluga_store
+        assert store.phi("gpu:2") > 0
+        assert store.phi("host") > 0
+        assert store.phi("gpu:2") != store.default_phi
+
+    def test_launch_overhead_positive(self, beluga_store):
+        _, store = beluga_store
+        assert store.launch_overhead > 0
+
+    def test_jittered_calibration_sees_lower_beta(self):
+        """With the efficiency ramp, the fitted β dips below nominal and
+        alpha absorbs part of the overhead."""
+        topo = systems.beluga()
+        jf = default_jitter_factory(0, 0.0)
+        hop = topo.direct_hop(0, 1)
+        est = calibrate_hop(topo, hop, jitter_factory=jf)
+        assert est.beta <= topo.hop_beta(hop) * 1.001
+        assert est.alpha >= topo.hop_alpha(hop)
+
+    def test_narval_host_hop_slower_than_beluga(self):
+        nar = systems.narval()
+        bel = systems.beluga()
+        est_n = calibrate_hop(nar, nar.host_hops(0, 1)[1])  # crosses UPI
+        est_b = calibrate_hop(bel, bel.host_hops(0, 1)[1])
+        assert est_n.alpha > est_b.alpha  # extra hop latency visible
+
+    def test_calibrate_launch_overhead(self):
+        topo = systems.beluga()
+        overhead = calibrate_launch_overhead(topo)
+        hop = topo.direct_hop(0, 1)
+        assert overhead == pytest.approx(topo.hop_alpha(hop), rel=0.01)
+
+    def test_store_json_roundtrip_after_calibration(self, beluga_store):
+        _, store = beluga_store
+        restored = ParameterStore.from_json(store.to_json())
+        assert restored.phi("gpu:2") == store.phi("gpu:2")
+        assert restored.launch_overhead == store.launch_overhead

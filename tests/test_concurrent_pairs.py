@@ -1,0 +1,55 @@
+"""Tests for the concurrent multi-pair experiment (paper §3 loaded case)."""
+
+import pytest
+
+from repro.bench.experiments.concurrent_pairs import (
+    PATTERNS,
+    run_concurrent_pairs,
+)
+from repro.units import MiB
+
+
+@pytest.fixture(scope="module")
+def conc_table():
+    return run_concurrent_pairs(("beluga",), sizes=[64 * MiB])
+
+
+class TestConcurrentPairs:
+    def test_all_patterns_measured(self, conc_table):
+        assert {r["pattern"] for r in conc_table} == set(PATTERNS)
+
+    def test_multipath_helps_when_idle_paths_exist(self, conc_table):
+        """Patterns that leave links idle gain from multi-path; the
+        all-to-one pattern saturates the receiver's incoming links already,
+        so splitting gains nothing (it even costs slightly — staged hops
+        contend with the other senders' direct flows).  This is §3's
+        'under-utilized paths' condition, made quantitative."""
+        for r in conc_table:
+            if r["pattern"] == "all_to_one":
+                assert 0.9 < r["speedup"] < 1.05
+            else:
+                assert r["speedup"] > 1.1
+
+    def test_isolated_pair_gains_most(self, conc_table):
+        by_pattern = {r["pattern"]: r["speedup"] for r in conc_table}
+        assert by_pattern["single_pair"] > by_pattern["ring"]
+        assert by_pattern["single_pair"] > by_pattern["all_to_one"]
+
+    def test_disjoint_pairs_keep_most_of_the_gain(self, conc_table):
+        """Two disjoint pairs only share staged detours, not direct links."""
+        by_pattern = {r["pattern"]: r["speedup"] for r in conc_table}
+        assert by_pattern["disjoint_pairs"] > by_pattern["ring"]
+
+    def test_pattern_prediction_is_upper_bound_but_sane(self, conc_table):
+        """The contention model's aggregate bounds the measurement from
+        above (it ignores chunking bubbles) within a 2x band."""
+        for r in conc_table:
+            assert r["predicted_gbps"] >= r["multi_gbps"] * 0.95
+            assert r["predicted_gbps"] <= r["multi_gbps"] * 2.0
+
+    def test_all_to_one_throttled_by_receiver(self, conc_table):
+        """Three senders into one GPU: the receiver's incoming links bound
+        the aggregate regardless of path splitting."""
+        row = conc_table.where(pattern="all_to_one").rows[0]
+        # incoming capacity of GPU0 = 3 links x 46 GB/s = 138
+        assert row["multi_gbps"] <= 138 * 1.02

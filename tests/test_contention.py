@@ -1,0 +1,121 @@
+"""Tests for the MaxRate-style contention-aware extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.contention import (
+    ContentionAwareModel,
+    max_min_path_rates,
+    usage_matrix,
+)
+from repro.topology import systems
+from repro.topology.routing import enumerate_paths
+from repro.units import MiB, gbps
+
+
+class TestUsageMatrix:
+    def test_beluga_direct_and_staged(self):
+        topo = systems.beluga()
+        paths = enumerate_paths(topo, 0, 1)
+        channels, u = usage_matrix(paths)
+        assert u.shape == (4, len(channels))
+        # The host path crosses dram:0 in both hops -> usage 2.
+        host_row = u[3]
+        dram_col = channels.index("dram:0")
+        assert host_row[dram_col] == 2
+
+    def test_nvswitch_shared_ports(self):
+        topo = systems.dgx_nvswitch(4)
+        paths = enumerate_paths(topo, 0, 1, include_host=False)
+        channels, u = usage_matrix(paths)
+        up0 = channels.index("nvsw:0:up")
+        # every path (direct and staged) leaves through GPU 0's uplink
+        assert np.all(u[:, up0] >= 1)
+
+
+class TestMaxMinPathRates:
+    def test_disjoint_paths_full_capacity(self):
+        u = np.eye(3)
+        rates, saturated = max_min_path_rates([10.0, 20.0, 30.0], u)
+        assert rates == pytest.approx([10.0, 20.0, 30.0])
+        assert len(saturated) == 3
+
+    def test_shared_channel_split(self):
+        u = np.ones((2, 1))
+        rates, _ = max_min_path_rates([10.0], u)
+        assert rates == pytest.approx([5.0, 5.0])
+
+    def test_double_usage_halves_rate(self):
+        u = np.array([[2.0]])
+        rates, _ = max_min_path_rates([10.0], u)
+        assert rates == pytest.approx([5.0])
+
+    def test_mixed_bottlenecks(self):
+        # path0: private channel cap 4; path1: shares hub cap 10 with path0
+        u = np.array([[1.0, 1.0], [0.0, 1.0]])
+        rates, _ = max_min_path_rates([4.0, 10.0], u)
+        # fill equally to 4 (private saturates path0), then path1 takes
+        # hub leftover: 10 - 4 = 6.
+        assert rates == pytest.approx([4.0, 6.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            max_min_path_rates([1.0], np.ones((1, 2)))
+
+
+class TestContentionModel:
+    def test_beluga_matches_naive_aggregate(self):
+        """With disjoint NVLinks, contention awareness changes nothing:
+        aggregate = 3 links + host path's PCIe floor."""
+        model = ContentionAwareModel(systems.beluga())
+        sol = model.solve(0, 1, include_host=False)
+        assert sol.aggregate_bandwidth == pytest.approx(3 * gbps(46), rel=1e-6)
+
+    def test_beluga_host_capped_by_pcie_and_dram(self):
+        model = ContentionAwareModel(systems.beluga())
+        sol = model.solve(0, 1, include_host=True)
+        host_rate = sol.rates[list(sol.path_ids).index("host")]
+        # DRAM usage 2 => at most 24/2 = 12; PCIe caps at 11.5.
+        assert host_rate <= gbps(11.5) * 1.001
+
+    def test_nvswitch_multipath_not_worthwhile(self):
+        """The headline check: shared switch ports make splitting useless;
+        the naive model misses this, the extension catches it."""
+        model = ContentionAwareModel(systems.dgx_nvswitch(8))
+        assert not model.multipath_worthwhile(0, 1, include_host=False)
+        sol = model.solve(0, 1, include_host=False)
+        # aggregate equals a single port's capacity
+        assert sol.aggregate_bandwidth <= gbps(230) * 1.001
+
+    def test_beluga_multipath_worthwhile(self):
+        model = ContentionAwareModel(systems.beluga())
+        assert model.multipath_worthwhile(0, 1, include_host=False)
+
+    def test_bottleneck_reporting(self):
+        model = ContentionAwareModel(systems.dgx_nvswitch(4))
+        sol = model.solve(0, 1, include_host=False)
+        assert any("nvsw:0:up" in b or "nvsw:1:down" in b for b in sol.bottlenecks)
+
+    def test_predict_bandwidth_close_to_simulated(self):
+        """Contention prediction on Beluga is within ~10% of the simulator
+        for a large transfer (both use the same fluid allocation)."""
+        from repro.bench.baselines import dynamic_config
+        from repro.bench.env import BenchEnvironment
+        from repro.bench.omb import osu_bw
+
+        topo = systems.beluga()
+        model = ContentionAwareModel(topo)
+        predicted = model.predict_bandwidth(0, 1, 512 * MiB, include_host=False)
+        env = BenchEnvironment(topo, config=dynamic_config(include_host=False))
+        measured = osu_bw(env, 512 * MiB, iterations=2).bandwidth
+        assert predicted == pytest.approx(measured, rel=0.12)
+
+    def test_predict_time_validation(self):
+        model = ContentionAwareModel(systems.beluga())
+        with pytest.raises(ValueError):
+            model.predict_time(0, 1, 0)
+
+    def test_describe(self):
+        model = ContentionAwareModel(systems.beluga())
+        text = model.solve(0, 1).describe()
+        assert "aggregate=" in text and "direct" in text

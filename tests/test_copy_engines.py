@@ -1,0 +1,52 @@
+"""Tests for the bounded copy-engine knob."""
+
+import pytest
+
+from repro.gpu import GPURuntime
+from repro.sim import Engine
+from repro.topology import systems
+from repro.units import MiB, gbps
+
+
+def run_three_parallel_copies(copy_engines):
+    """GPU 0 copies to 1, 2, 3 on three streams; returns makespan."""
+    eng = Engine()
+    runtime = GPURuntime(eng, systems.beluga(), copy_engines=copy_engines)
+    events = []
+    for dst in (1, 2, 3):
+        s = runtime.create_stream(0)
+        events.append(runtime.peer_copy_async(0, dst, 46 * MiB, s))
+    eng.run(until=eng.all_of(events))
+    return eng.now
+
+
+class TestCopyEngines:
+    def test_unbounded_runs_parallel(self):
+        t = run_three_parallel_copies(None)
+        one = systems.beluga().hop_alpha(systems.beluga().direct_hop(0, 1))
+        one += 46 * MiB / gbps(46)
+        assert t == pytest.approx(one, rel=1e-9)
+
+    def test_single_engine_serializes(self):
+        t1 = run_three_parallel_copies(1)
+        t3 = run_three_parallel_copies(3)
+        assert t1 == pytest.approx(3 * t3, rel=1e-6)
+
+    def test_two_engines_partial_overlap(self):
+        t2 = run_three_parallel_copies(2)
+        t1 = run_three_parallel_copies(1)
+        t3 = run_three_parallel_copies(3)
+        assert t3 < t2 < t1
+        assert t2 == pytest.approx(2 * t3, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GPURuntime(Engine(), systems.beluga(), copy_engines=0)
+
+    def test_engine_released_after_copy(self):
+        eng = Engine()
+        runtime = GPURuntime(eng, systems.beluga(), copy_engines=1)
+        s = runtime.create_stream(0)
+        eng.run(until=runtime.peer_copy_async(0, 1, 1 * MiB, s))
+        sem = runtime._copy_engines[0]
+        assert sem.held() == 0

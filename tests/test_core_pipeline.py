@@ -1,0 +1,280 @@
+"""Tests for the pipelining model (Eqs. 12-18), chunk optimisation, and
+the φ linearisation (Eqs. 19-22)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chunking import (
+    chunking_ratio,
+    effective_params,
+    fit_phi,
+    fit_phi_for_sizes,
+    linear_chunks,
+    linearization_error,
+)
+from repro.core.params import PathParams
+from repro.core.pipeline_model import (
+    chunk_time,
+    optimal_chunks,
+    optimal_chunks_exact,
+    pipelined_time,
+    pipelined_time_at_optimum,
+)
+from repro.units import MiB, gbps, us
+
+
+def staged(a1=2.5 * us, b1=gbps(46), eps=4 * us, a2=2.5 * us, b2=gbps(46), pid="s"):
+    return PathParams(
+        path_id=pid, alpha1=a1, beta1=b1, epsilon=eps, alpha2=a2, beta2=b2
+    )
+
+
+CASE1 = staged(b1=gbps(10), b2=gbps(40), pid="case1")  # first link bottleneck
+CASE2 = staged(b1=gbps(40), b2=gbps(10), pid="case2")  # second link bottleneck
+SYM = staged(pid="sym")
+
+
+class TestChunkTime:
+    def test_eq12(self):
+        n = 64 * MiB
+        k = 8
+        t = chunk_time(SYM, 0.5, n, k)
+        chunk = 0.5 * n / k
+        expected = (
+            2.5 * us + chunk / gbps(46) + 4 * us + 2.5 * us + chunk / gbps(46)
+        )
+        assert t == pytest.approx(expected)
+
+    def test_direct_path_rejected(self):
+        d = PathParams(path_id="d", alpha1=1 * us, beta1=gbps(46))
+        with pytest.raises(ValueError, match="direct"):
+            chunk_time(d, 0.5, 100, 2)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            pipelined_time(SYM, 0.5, 100, 0)
+
+
+class TestPipelinedTime:
+    def test_case1_formula(self):
+        """beta1 < beta2: k startups on the first link + one trailing hop."""
+        n, k, theta = 64 * MiB, 8, 1.0
+        chunk = theta * n / k
+        expected = (
+            k * (CASE1.alpha1 + chunk / CASE1.beta1)
+            + CASE1.epsilon
+            + CASE1.alpha2
+            + chunk / CASE1.beta2
+        )
+        assert pipelined_time(CASE1, theta, n, k) == pytest.approx(expected)
+
+    def test_case2_formula(self):
+        n, k, theta = 64 * MiB, 8, 1.0
+        chunk = theta * n / k
+        expected = (
+            CASE2.alpha1
+            + chunk / CASE2.beta1
+            + k * (CASE2.epsilon + CASE2.alpha2 + chunk / CASE2.beta2)
+        )
+        assert pipelined_time(CASE2, theta, n, k) == pytest.approx(expected)
+
+    def test_pipelining_beats_store_and_forward(self):
+        """With a good k, pipelining beats the k=1 staged transfer."""
+        n = 64 * MiB
+        k = optimal_chunks(CASE1, 1.0, n)
+        assert pipelined_time(CASE1, 1.0, n, k) < pipelined_time(CASE1, 1.0, n, 1)
+
+    def test_zero_theta(self):
+        assert pipelined_time(SYM, 0.0, 64 * MiB, 4) == 0.0
+
+
+class TestOptimalChunks:
+    def test_eq14_case1(self):
+        n, theta = 64 * MiB, 0.5
+        k = optimal_chunks_exact(CASE1, theta, n)
+        assert k == pytest.approx(
+            math.sqrt(theta * n / (CASE1.alpha1 * CASE1.beta2))
+        )
+
+    def test_eq15_case2(self):
+        n, theta = 64 * MiB, 0.5
+        k = optimal_chunks_exact(CASE2, theta, n)
+        assert k == pytest.approx(
+            math.sqrt(theta * n / (CASE2.beta1 * (CASE2.epsilon + CASE2.alpha2)))
+        )
+
+    def test_integer_neighbor_is_discrete_minimum(self):
+        """floor/ceil of k* beats k*±2 for both cases."""
+        n = 128 * MiB
+        for params in (CASE1, CASE2, SYM):
+            k = optimal_chunks(params, 1.0, n)
+            t_best = pipelined_time(params, 1.0, n, k)
+            for other in (max(1, k - 2), k + 2):
+                assert t_best <= pipelined_time(params, 1.0, n, other) + 1e-15
+
+    def test_chunks_grow_with_message_size(self):
+        k_small = optimal_chunks(SYM, 1.0, 4 * MiB)
+        k_large = optimal_chunks(SYM, 1.0, 256 * MiB)
+        assert k_large > k_small
+
+    def test_max_chunks_clamp(self):
+        k = optimal_chunks(SYM, 1.0, 512 * MiB, max_chunks=4)
+        assert k <= 4
+
+    @given(
+        n_mib=st.integers(min_value=2, max_value=512),
+        theta_pct=st.integers(min_value=5, max_value=100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_exact_k_minimizes_continuous_time(self, n_mib, theta_pct):
+        """T(k*) <= T(k*·1.3) and T(k*/1.3) — k* is a local continuum min."""
+        n = n_mib * MiB
+        theta = theta_pct / 100
+        for params in (CASE1, CASE2):
+            k_star = optimal_chunks_exact(params, theta, n)
+            if k_star < 1:
+                continue
+
+            def t(k):
+                # continuous-k version of Eq. (13)
+                chunk = theta * n / k
+                if params.beta1 < params.beta2:
+                    return (
+                        k * (params.alpha1 + chunk / params.beta1)
+                        + params.epsilon + params.alpha2 + chunk / params.beta2
+                    )
+                return (
+                    params.alpha1 + chunk / params.beta1
+                    + k * (params.epsilon + params.alpha2 + chunk / params.beta2)
+                )
+
+            assert t(k_star) <= t(k_star * 1.3) + 1e-15
+            assert t(k_star) <= t(k_star / 1.3) + 1e-15
+
+
+class TestTimeAtOptimum:
+    def test_eq17_matches_substitution_case1(self):
+        n, theta = 64 * MiB, 0.5
+        k_star = optimal_chunks_exact(CASE1, theta, n)
+        chunk = theta * n / k_star
+        by_substitution = (
+            k_star * (CASE1.alpha1 + chunk / CASE1.beta1)
+            + CASE1.epsilon + CASE1.alpha2 + chunk / CASE1.beta2
+        )
+        assert pipelined_time_at_optimum(CASE1, theta, n) == pytest.approx(
+            by_substitution
+        )
+
+    def test_eq18_matches_substitution_case2(self):
+        n, theta = 64 * MiB, 0.5
+        k_star = optimal_chunks_exact(CASE2, theta, n)
+        chunk = theta * n / k_star
+        by_substitution = (
+            CASE2.alpha1 + chunk / CASE2.beta1
+            + k_star * (CASE2.epsilon + CASE2.alpha2 + chunk / CASE2.beta2)
+        )
+        assert pipelined_time_at_optimum(CASE2, theta, n) == pytest.approx(
+            by_substitution
+        )
+
+    def test_optimum_lower_bounds_integer_k(self):
+        n = 64 * MiB
+        for params in (CASE1, CASE2, SYM):
+            k = optimal_chunks(params, 1.0, n)
+            assert pipelined_time_at_optimum(params, 1.0, n) <= pipelined_time(
+                params, 1.0, n, k
+            ) * (1 + 1e-12)
+
+
+class TestPhiLinearisation:
+    def test_fit_phi_single_point(self):
+        # For a single x, sqrt(x) = phi*x => phi = 1/sqrt(x)
+        assert fit_phi([16.0]) == pytest.approx(0.25)
+
+    def test_fit_phi_validation(self):
+        with pytest.raises(ValueError):
+            fit_phi([])
+        with pytest.raises(ValueError):
+            fit_phi([1.0, -1.0])
+
+    def test_linear_chunks_tracks_exact_at_anchor(self):
+        """At the fitted reference size, linear k is close to exact k."""
+        n = 64 * MiB
+        phi = fit_phi([chunking_ratio(SYM, 0.25, n)])
+        k_lin = linear_chunks(SYM, 0.25, n, phi)
+        k_exact = optimal_chunks_exact(SYM, 0.25, n)
+        assert abs(k_lin - k_exact) <= 1.0
+
+    def test_linearization_error_zero_at_anchor(self):
+        n = 64 * MiB
+        phi = fit_phi([chunking_ratio(SYM, 0.25, n)])
+        assert linearization_error(SYM, 0.25, n, phi) < 0.01
+
+    def test_effective_params_direct(self):
+        d = PathParams(path_id="d", alpha1=2 * us, beta1=gbps(46))
+        eff = effective_params(d)
+        assert eff.omega == pytest.approx(1 / gbps(46))
+        assert eff.delta == pytest.approx(2 * us)
+        assert eff.phi is None
+
+    def test_effective_params_case1(self):
+        phi = 0.05
+        eff = effective_params(CASE1, phi)
+        assert eff.case1 is True
+        assert eff.omega == pytest.approx(1 / CASE1.beta1 + phi / CASE1.beta2)
+        assert eff.delta == pytest.approx(
+            CASE1.epsilon + CASE1.alpha2 + CASE1.alpha1 / phi
+        )
+
+    def test_effective_params_case2(self):
+        phi = 0.05
+        eff = effective_params(CASE2, phi)
+        assert eff.case1 is False
+        assert eff.omega == pytest.approx(phi / CASE2.beta1 + 1 / CASE2.beta2)
+        assert eff.delta == pytest.approx(
+            CASE2.alpha1 + (CASE2.epsilon + CASE2.alpha2) / phi
+        )
+
+    def test_effective_params_no_phi_falls_back_to_eq11(self):
+        eff = effective_params(SYM, None)
+        assert eff.omega == pytest.approx(SYM.Omega)
+        assert eff.delta == pytest.approx(SYM.Delta)
+
+    def test_effective_time_matches_eq20(self):
+        """θnΩ + Δ must equal Eq. (20) expanded by hand."""
+        phi = 0.08
+        n, theta = 128 * MiB, 0.4
+        eff = effective_params(CASE1, phi)
+        t_eff = theta * n * eff.omega + eff.delta
+        expected = (
+            theta * n * (1 / CASE1.beta1 + phi / CASE1.beta2)
+            + CASE1.epsilon + CASE1.alpha2 + CASE1.alpha1 / phi
+        )
+        assert t_eff == pytest.approx(expected)
+
+    def test_fit_phi_for_sizes(self):
+        sizes = [2 ** i * MiB for i in range(1, 10)]
+        phi = fit_phi_for_sizes(SYM, sizes)
+        assert phi > 0
+        # phi ~ 1/sqrt(x) for the dominant (large) sizes in the window.
+        x_big = chunking_ratio(SYM, 0.25, sizes[-1])
+        assert phi == pytest.approx(1 / math.sqrt(x_big), rel=1.0)
+
+    def test_phi_validation(self):
+        with pytest.raises(ValueError):
+            linear_chunks(SYM, 0.5, 100, 0.0)
+        with pytest.raises(ValueError):
+            effective_params(SYM, -1.0)
+
+    @given(
+        n_mib=st.integers(min_value=2, max_value=512),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_linear_chunks_bounded(self, n_mib):
+        phi = fit_phi_for_sizes(SYM, [2 ** i * MiB for i in range(1, 10)])
+        k = linear_chunks(SYM, 0.3, n_mib * MiB, phi, max_chunks=64)
+        assert 1 <= k <= 64

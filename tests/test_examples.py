@@ -1,0 +1,47 @@
+"""Smoke tests: every example script runs clean and prints its headline."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 360) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "speedup over direct" in out
+        assert "prediction error" in out
+
+    def test_ddp_gradient_sync(self):
+        out = run_example("ddp_gradient_sync.py")
+        assert "beluga" in out and "narval" in out
+        assert "speedup" in out
+
+    def test_topology_explorer(self):
+        out = run_example("topology_explorer.py")
+        assert "crossover" in out
+
+    def test_future_systems(self):
+        out = run_example("future_systems.py")
+        assert "multipath worthwhile? False" in out
+        assert "xGMI ring" in out
+
+    def test_multinode_rails(self):
+        out = run_example("multinode_rails.py")
+        assert "pcie_capped" in out
+        assert "yes" in out

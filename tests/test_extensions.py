@@ -1,0 +1,128 @@
+"""Tests for the windowed steady-state model and the collective model."""
+
+import math
+
+import pytest
+
+from repro.bench.baselines import direct_config, dynamic_config
+from repro.bench.collectives import COLLECTIVES
+from repro.bench.env import BenchEnvironment
+from repro.bench.omb import osu_bw, osu_collective_latency
+from repro.core.collective_model import CollectiveModel
+from repro.core.planner import PathPlanner
+from repro.core.window_model import (
+    asymptotic_bandwidth,
+    predict_windowed_bandwidth,
+    windowed_bandwidth,
+    windowed_time,
+)
+from repro.topology import systems
+from repro.units import MiB
+
+
+@pytest.fixture(scope="module")
+def beluga():
+    return systems.beluga()
+
+
+@pytest.fixture(scope="module")
+def planner(beluga):
+    return PathPlanner(beluga)
+
+
+class TestWindowModel:
+    def test_w1_matches_base_prediction(self, planner):
+        plan = planner.plan(0, 1, 16 * MiB, include_host=False)
+        assert windowed_time(plan, 1) == pytest.approx(plan.predicted_time)
+
+    def test_bandwidth_grows_with_window(self, planner):
+        plan = planner.plan(0, 1, 4 * MiB, include_host=False)
+        bws = [windowed_bandwidth(plan, w) for w in (1, 2, 4, 16, 64)]
+        assert all(b2 > b1 for b1, b2 in zip(bws, bws[1:]))
+        assert bws[-1] < asymptotic_bandwidth(plan)
+
+    def test_window_prediction_tracks_measurement(self, beluga, planner):
+        """The windowed prediction follows the measured window gain: the
+        matching-window relative error shrinks as the window grows (the
+        quantitative content of Observation 2), and both prediction and
+        measurement rise with the window."""
+        n = 2 * MiB
+        env = BenchEnvironment(beluga, config=dynamic_config(include_host=False))
+        errors = {}
+        prev_meas = prev_pred = 0.0
+        for w in (1, 16):
+            measured = osu_bw(env, n, window=w, iterations=3).bandwidth
+            predicted = predict_windowed_bandwidth(
+                planner, 0, 1, n, w, include_host=False
+            )
+            errors[w] = abs(predicted - measured) / measured
+            assert measured > prev_meas and predicted > prev_pred
+            prev_meas, prev_pred = measured, predicted
+        assert errors[16] < errors[1]
+
+    def test_validation(self, planner):
+        plan = planner.plan(0, 1, 4 * MiB)
+        with pytest.raises(ValueError):
+            windowed_time(plan, 0)
+
+    def test_asymptote_is_upper_bound(self, planner):
+        plan = planner.plan(0, 1, 64 * MiB, include_host=False)
+        assert windowed_bandwidth(plan, 1000) <= asymptotic_bandwidth(plan)
+
+
+class TestCollectiveModel:
+    def test_allreduce_structure(self, planner):
+        model = CollectiveModel(planner)
+        pred = model.allreduce(4, 32 * MiB)
+        assert pred.steps == 2 * int(math.log2(4))
+        assert pred.predicted_time > 0
+        assert pred.compute_time > 0
+
+    def test_alltoall_structure(self, planner):
+        model = CollectiveModel(planner)
+        pred = model.alltoall(4, 32 * MiB)
+        assert pred.steps == 2
+        assert pred.compute_time == 0.0
+
+    def test_validation(self, planner):
+        model = CollectiveModel(planner)
+        with pytest.raises(ValueError):
+            model.allreduce(3, 1024)
+        with pytest.raises(ValueError):
+            model.alltoall(4, 0)
+        with pytest.raises(ValueError):
+            model.speedup_over_single_path("bcast", 4, 1024)
+        with pytest.raises(ValueError):
+            CollectiveModel(planner, reduce_bandwidth=0)
+
+    @pytest.mark.parametrize("collective", ["allreduce", "alltoall"])
+    def test_prediction_within_band_of_simulator(self, beluga, planner, collective):
+        """Predicted latency within ~35% of the simulated collective
+        (the model ignores cross-step pipelining and barrier costs)."""
+        n = 16 * MiB
+        model = CollectiveModel(planner, include_host=False)
+        pred = model._predict(collective, 4, n)
+        env = BenchEnvironment(beluga, config=dynamic_config(include_host=False))
+        measured = osu_collective_latency(
+            env, COLLECTIVES[collective], n, iterations=2
+        ).latency
+        assert pred.total == pytest.approx(measured, rel=0.35)
+
+    def test_predicted_speedup_band_matches_paper(self, planner):
+        """Predicted multi-path collective speedups land in the paper's
+        1.1-1.7x band and Alltoall >= Allreduce."""
+        model = CollectiveModel(planner, include_host=False)
+        s_a2a = model.speedup_over_single_path("alltoall", 4, 32 * MiB)
+        s_ar = model.speedup_over_single_path("allreduce", 4, 32 * MiB)
+        assert 1.05 < s_ar < 2.0
+        assert 1.05 < s_a2a < 2.2
+        assert s_a2a >= s_ar * 0.95
+
+    def test_compute_dampens_allreduce_speedup(self, planner):
+        """Slower reduction kernels shrink Allreduce's multi-path gain —
+        the mechanism behind §5.3 Observation 3."""
+        fast = CollectiveModel(planner, reduce_bandwidth=1e12, include_host=False)
+        slow = CollectiveModel(planner, reduce_bandwidth=50e9, include_host=False)
+        s_fast = fast.speedup_over_single_path("allreduce", 4, 32 * MiB)
+        s_slow = slow.speedup_over_single_path("allreduce", 4, 32 * MiB)
+        assert s_slow < s_fast

@@ -1,0 +1,285 @@
+"""Tests for the MPI layer: matching, requests, barriers."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, Communicator, waitall
+from repro.sim import Engine
+from repro.topology import systems
+from repro.ucx import TransportConfig, UCXContext
+from repro.units import MiB
+
+
+def make_comm(topology=None, size=None, **ctx_kw):
+    eng = Engine()
+    ctx = UCXContext(eng, topology or systems.beluga(), **ctx_kw)
+    return eng, Communicator(ctx, size=size)
+
+
+class TestBasicSendRecv:
+    def test_payload_delivery(self):
+        eng, comm = make_comm()
+        data = np.arange(1024, dtype=np.float64)
+        out = {}
+
+        def program(view):
+            if view.rank == 0:
+                yield from view.send(1, payload=data, tag=7)
+            elif view.rank == 1:
+                out["got"] = yield from view.recv(0, tag=7)
+            else:
+                yield from view.barrier()
+                return
+            yield from view.barrier()
+
+        eng.run(until=comm.run_ranks(program))
+        np.testing.assert_array_equal(out["got"], data)
+
+    def test_payload_is_copied(self):
+        eng, comm = make_comm()
+        data = np.zeros(16)
+        out = {}
+
+        def program(view):
+            if view.rank == 0:
+                req = view.isend(1, payload=data, tag=0)
+                data[:] = 99.0  # mutate after isend: receiver must not see it
+                yield req.event
+            elif view.rank == 1:
+                out["got"] = yield from view.recv(0)
+            yield from view.barrier()
+
+        eng.run(until=comm.run_ranks(program))
+        assert np.all(out["got"] == 0.0)
+
+    def test_size_only_messages(self):
+        eng, comm = make_comm()
+
+        def program(view):
+            if view.rank == 0:
+                yield from view.send(1, nbytes=8 * MiB)
+            elif view.rank == 1:
+                got = yield from view.recv(0)
+                assert got is None
+            yield from view.barrier()
+
+        eng.run(until=comm.run_ranks(program))
+        assert comm.bytes_transferred == 8 * MiB
+
+    def test_transfer_takes_time(self):
+        eng, comm = make_comm()
+
+        def program(view):
+            if view.rank == 0:
+                yield from view.send(1, nbytes=64 * MiB)
+            elif view.rank == 1:
+                yield from view.recv(0)
+            yield from view.barrier()
+
+        eng.run(until=comm.run_ranks(program))
+        # 64 MiB over <=138 GB/s aggregate: at least ~0.4ms
+        assert eng.now > 100e-6
+
+
+class TestMatching:
+    def test_tag_matching(self):
+        eng, comm = make_comm()
+        order = []
+
+        def program(view):
+            if view.rank == 0:
+                # isend both: sends complete in rendezvous order chosen by
+                # the receiver, so blocking sends here would deadlock.
+                r1 = view.isend(1, payload=np.array([1.0]), tag=10)
+                r2 = view.isend(1, payload=np.array([2.0]), tag=20)
+                yield waitall(view.engine, [r1, r2])
+            elif view.rank == 1:
+                # Receive tag 20 first even though tag 10 was sent first.
+                got20 = yield from view.recv(0, tag=20)
+                got10 = yield from view.recv(0, tag=10)
+                order.extend([got20[0], got10[0]])
+            yield from view.barrier()
+
+        eng.run(until=comm.run_ranks(program))
+        assert order == [2.0, 1.0]
+
+    def test_any_source_any_tag(self):
+        eng, comm = make_comm()
+        got = []
+
+        def program(view):
+            if view.rank in (0, 2):
+                yield from view.send(1, payload=np.array([float(view.rank)]), tag=view.rank)
+            elif view.rank == 1:
+                a = yield from view.recv(ANY_SOURCE, tag=ANY_TAG)
+                b = yield from view.recv(ANY_SOURCE, tag=ANY_TAG)
+                got.extend(sorted([a[0], b[0]]))
+            yield from view.barrier()
+
+        eng.run(until=comm.run_ranks(program))
+        assert got == [0.0, 2.0]
+
+    def test_fifo_order_same_tag(self):
+        eng, comm = make_comm()
+        got = []
+
+        def program(view):
+            if view.rank == 0:
+                for i in range(3):
+                    yield from view.send(1, payload=np.array([float(i)]), tag=5)
+            elif view.rank == 1:
+                for _ in range(3):
+                    v = yield from view.recv(0, tag=5)
+                    got.append(v[0])
+            yield from view.barrier()
+
+        eng.run(until=comm.run_ranks(program))
+        assert got == [0.0, 1.0, 2.0]
+
+    def test_unmatched_counts(self):
+        eng, comm = make_comm()
+        view = comm.view(0)
+        view.isend(1, nbytes=4, tag=1)
+        assert comm.unmatched == (1, 0)
+        comm.view(1).irecv(0, tag=1)
+        eng.run()
+        assert comm.unmatched == (0, 0)
+
+
+class TestNonBlocking:
+    def test_isend_irecv_waitall(self):
+        eng, comm = make_comm()
+        results = {}
+
+        def program(view):
+            if view.rank == 0:
+                reqs = [
+                    view.isend(1, payload=np.array([i], dtype=np.int64), tag=i)
+                    for i in range(4)
+                ]
+                yield waitall(view.engine, reqs)
+            elif view.rank == 1:
+                reqs = [view.irecv(0, tag=i) for i in range(4)]
+                values = yield waitall(view.engine, reqs)
+                results["values"] = [v[0] for v in values]
+            yield from view.barrier()
+
+        eng.run(until=comm.run_ranks(program))
+        assert results["values"] == [0, 1, 2, 3]
+
+    def test_request_test(self):
+        eng, comm = make_comm()
+        req = comm.view(1).irecv(0, tag=3)
+        done, _ = req.test()
+        assert not done
+        comm.view(0).isend(1, nbytes=4, tag=3)
+        eng.run()
+        done, _ = req.test()
+        assert done
+
+    def test_sendrecv_bidirectional(self):
+        eng, comm = make_comm()
+        out = {}
+
+        def program(view):
+            if view.rank > 1:
+                return
+                yield
+            peer = 1 - view.rank
+            got = yield from view.sendrecv(
+                peer, peer, payload=np.array([view.rank * 1.0]), tag=2
+            )
+            out[view.rank] = got[0]
+
+        eng.run(until=comm.run_ranks(program))
+        assert out == {0: 1.0, 1: 0.0}
+
+
+class TestBarrier:
+    def test_barrier_releases_all_at_once(self):
+        eng, comm = make_comm()
+        times = {}
+
+        def program(view):
+            yield view.engine.timeout(view.rank * 1.0)  # stagger arrivals
+            yield from view.barrier()
+            times[view.rank] = view.engine.now
+
+        eng.run(until=comm.run_ranks(program))
+        assert len(set(times.values())) == 1
+        assert list(times.values())[0] == pytest.approx(3.0)
+
+    def test_barrier_reusable(self):
+        eng, comm = make_comm()
+        log = []
+
+        def program(view):
+            yield from view.barrier()
+            log.append(("a", view.rank))
+            yield from view.barrier()
+            log.append(("b", view.rank))
+
+        eng.run(until=comm.run_ranks(program))
+        assert [x[0] for x in log[:4]] == ["a"] * 4
+        assert [x[0] for x in log[4:]] == ["b"] * 4
+
+
+class TestValidation:
+    def test_bad_rank(self):
+        _, comm = make_comm()
+        with pytest.raises(ValueError):
+            comm.view(9)
+        with pytest.raises(ValueError):
+            comm.view(0).isend(99, nbytes=4)
+        with pytest.raises(ValueError):
+            comm.view(0).irecv(42)
+
+    def test_payload_nbytes_consistency(self):
+        _, comm = make_comm()
+        with pytest.raises(ValueError):
+            comm.view(0).isend(1, nbytes=5, payload=np.zeros(4))
+        with pytest.raises(ValueError):
+            comm.view(0).isend(1)
+
+    def test_oversubscribed_ranks_share_devices(self):
+        eng, comm = make_comm(size=8)
+        assert comm.rank_to_device == [0, 1, 2, 3, 0, 1, 2, 3]
+
+        def program(view):
+            # rank 0 -> rank 4 share device 0: local copy path
+            if view.rank == 0:
+                yield from view.send(4, payload=np.array([1.0]))
+            elif view.rank == 4:
+                got = yield from view.recv(0)
+                assert got[0] == 1.0
+
+        eng.run(until=comm.run_ranks(program))
+
+    def test_reduce_bandwidth_validation(self):
+        eng = Engine()
+        ctx = UCXContext(eng, systems.beluga())
+        with pytest.raises(ValueError):
+            Communicator(ctx, reduce_bandwidth=0)
+
+
+class TestMultipathEffect:
+    def test_multipath_speeds_up_p2p(self):
+        n = 256 * MiB
+
+        def run(cfg):
+            eng, comm = make_comm(config=cfg)
+
+            def program(view):
+                if view.rank == 0:
+                    yield from view.send(1, nbytes=n)
+                elif view.rank == 1:
+                    yield from view.recv(0)
+                yield from view.barrier()
+
+            eng.run(until=comm.run_ranks(program))
+            return eng.now
+
+        t_single = run(TransportConfig.single_path())
+        t_multi = run(TransportConfig(include_host=False))
+        assert t_multi < t_single
+        assert t_single / t_multi > 2.0

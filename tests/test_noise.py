@@ -1,0 +1,78 @@
+"""Tests for the deterministic noise models."""
+
+import numpy as np
+import pytest
+
+from repro.sim.noise import (
+    BurstSlowdown,
+    ComposedJitter,
+    LognormalJitter,
+    SizeDependentEfficiency,
+)
+from repro.units import KiB, MiB
+from repro.util.rng import spawn_rng
+
+
+class TestLognormalJitter:
+    def test_mean_close_to_one(self):
+        j = LognormalJitter(spawn_rng(0, "t"), sigma=0.05)
+        samples = np.array([j(1024) for _ in range(4000)])
+        assert samples.mean() == pytest.approx(1.0, abs=0.01)
+        assert samples.std() == pytest.approx(0.05, abs=0.01)
+
+    def test_zero_sigma_is_identity(self):
+        j = LognormalJitter(spawn_rng(0, "t"), sigma=0.0)
+        assert j(1024) == 1.0
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            LognormalJitter(spawn_rng(0, "t"), sigma=-0.1)
+
+    def test_deterministic_given_seed(self):
+        a = [LognormalJitter(spawn_rng(7, "x"), 0.02)(1) for _ in range(5)]
+        b = [LognormalJitter(spawn_rng(7, "x"), 0.02)(1) for _ in range(5)]
+        assert a == b
+
+
+class TestBurstSlowdown:
+    def test_slowdown_frequency(self):
+        j = BurstSlowdown(spawn_rng(0, "b"), prob=0.25, factor=4.0)
+        samples = [j(1) for _ in range(4000)]
+        frac_slow = sum(1 for s in samples if s == 4.0) / len(samples)
+        assert frac_slow == pytest.approx(0.25, abs=0.03)
+        assert set(samples) <= {1.0, 4.0}
+
+    def test_validation(self):
+        rng = spawn_rng(0, "b")
+        with pytest.raises(ValueError):
+            BurstSlowdown(rng, prob=1.5)
+        with pytest.raises(ValueError):
+            BurstSlowdown(rng, factor=0.5)
+
+
+class TestSizeDependentEfficiency:
+    def test_large_messages_unaffected(self):
+        j = SizeDependentEfficiency(knee_bytes=256 * KiB)
+        assert j(256 * MiB) == pytest.approx(1.0, abs=0.002)
+
+    def test_knee_doubles_demand(self):
+        j = SizeDependentEfficiency(knee_bytes=256 * KiB)
+        assert j(256 * KiB) == pytest.approx(2.0)
+
+    def test_zero_size(self):
+        assert SizeDependentEfficiency(1024)(0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SizeDependentEfficiency(-1)
+
+
+class TestComposedJitter:
+    def test_product(self):
+        j = ComposedJitter(
+            SizeDependentEfficiency(1024), lambda n: 2.0
+        )
+        assert j(1024) == pytest.approx(4.0)
+
+    def test_empty_is_identity(self):
+        assert ComposedJitter()(123) == 1.0

@@ -1,0 +1,94 @@
+"""Property test: the closed form equals the LP optimum.
+
+For the linear model ``T_i = θ_i n Ω_i + Δ_i`` the min-max problem is an
+LP (epigraph form).  The paper's closed form (Eq. 24 + the drop rule) must
+match scipy's LP solution on random instances — including instances where
+paths get dropped.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linprog
+
+from repro.core.optimizer import optimal_fractions
+from repro.core.params import PathParams
+from repro.units import MiB, gbps, us
+
+
+def lp_min_max(omegas, deltas, nbytes):
+    """Epigraph LP: min t  s.t.  θ_i n Ω_i + Δ_i <= t, Σθ = 1, θ >= 0."""
+    p = len(omegas)
+    # variables [θ_1..θ_p, t]
+    c = np.zeros(p + 1)
+    c[-1] = 1.0
+    a_ub = np.zeros((p, p + 1))
+    b_ub = np.zeros(p)
+    for i in range(p):
+        a_ub[i, i] = nbytes * omegas[i]
+        a_ub[i, -1] = -1.0
+        b_ub[i] = -deltas[i]
+    a_eq = np.zeros((1, p + 1))
+    a_eq[0, :p] = 1.0
+    result = linprog(
+        c,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=[1.0],
+        bounds=[(0, 1)] * p + [(0, None)],
+        method="highs",
+    )
+    assert result.success
+    return result.x[:p], result.fun
+
+
+class TestClosedFormEqualsLp:
+    @given(
+        betas=st.lists(
+            st.floats(min_value=2.0, max_value=100.0), min_size=2, max_size=6
+        ),
+        alphas=st.lists(
+            st.floats(min_value=0.1, max_value=200.0), min_size=2, max_size=6
+        ),
+        n_kib=st.integers(min_value=64, max_value=512 * 1024),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_same_optimal_time(self, betas, alphas, n_kib):
+        p = min(len(betas), len(alphas))
+        omegas = [1.0 / gbps(b) for b in betas[:p]]
+        deltas = [a * us for a in alphas[:p]]
+        n = n_kib * 1024
+
+        paths = [
+            PathParams(path_id=f"p{i}", alpha1=deltas[i], beta1=1.0 / omegas[i])
+            for i in range(p)
+        ]
+        closed = optimal_fractions(paths, n, keep=None)
+        _, t_lp = lp_min_max(omegas, deltas, n)
+
+        t_closed = max(
+            th * n * om + de
+            for th, om, de in zip(closed.theta, omegas, deltas)
+        )
+        assert t_closed == pytest.approx(t_lp, rel=1e-6)
+
+    def test_drop_case_matches_lp(self):
+        """An instance where the closed form must drop a path."""
+        omegas = [1.0 / gbps(46), 1.0 / gbps(1)]
+        deltas = [2 * us, 500 * us]  # second path hopeless for small n
+        n = 256 * 1024
+        paths = [
+            PathParams(path_id="good", alpha1=deltas[0], beta1=gbps(46)),
+            PathParams(path_id="bad", alpha1=deltas[1], beta1=gbps(1)),
+        ]
+        closed = optimal_fractions(paths, n, keep=None)
+        theta_lp, t_lp = lp_min_max(omegas, deltas, n)
+        assert closed.theta[1] == 0.0
+        assert theta_lp[1] == pytest.approx(0.0, abs=1e-9)
+        t_closed = max(
+            th * n * om + de
+            for th, om, de in zip(closed.theta, omegas, deltas)
+        )
+        assert t_closed == pytest.approx(t_lp, rel=1e-9)

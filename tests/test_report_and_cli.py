@@ -1,0 +1,70 @@
+"""Tests for report rendering and the CLI driver."""
+
+import pytest
+
+from repro.bench import report
+from repro.bench.experiments import run_fig4
+from repro.cli import main
+from repro.units import MiB
+from repro.util.tables import Table
+
+
+def fake_fig5_table():
+    t = Table(
+        ["system", "paths", "window", "size_mib",
+         "direct_gbps", "static_gbps", "dynamic_gbps", "predicted_gbps"],
+    )
+    for size, d, s, dy, p in [(2, 30, 35, 33, 40), (64, 45, 90, 100, 105)]:
+        t.add(system="beluga", paths="3_GPUs", window=1, size_mib=size,
+              direct_gbps=d, static_gbps=s, dynamic_gbps=dy, predicted_gbps=p)
+    return t
+
+
+class TestReport:
+    def test_render_fig5_has_panels_and_legend(self):
+        out = report.render_fig5(fake_fig5_table())
+        assert "system=beluga" in out
+        assert "o=direct" in out and "predicted" in out
+
+    def test_render_fig4(self):
+        table = run_fig4("beluga", sizes=[4 * MiB, 64 * MiB])
+        out = report.render_fig4(table)
+        assert "theta per path" in out
+        assert "direct" in out
+
+    def test_render_fig7(self):
+        t = Table(
+            ["system", "collective", "paths", "size_mib",
+             "direct_latency_us", "static_latency_us", "dynamic_latency_us",
+             "static_speedup", "dynamic_speedup"],
+        )
+        t.add(system="beluga", collective="alltoall", paths="2_GPUs",
+              size_mib=16, direct_latency_us=100, static_latency_us=80,
+              dynamic_latency_us=75, static_speedup=1.25, dynamic_speedup=1.33)
+        out = report.render_fig7(t)
+        assert "collective=alltoall" in out
+
+    def test_experiments_markdown(self):
+        text = report.experiments_markdown({"Section A": "body text"})
+        assert text.startswith("# EXPERIMENTS")
+        assert "## Section A" in text and "body text" in text
+
+
+class TestCli:
+    def test_fig4_command(self, capsys):
+        assert main(["fig4", "--system", "beluga", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG4" in out and "theta" in out
+
+    def test_calibrate_command(self, capsys):
+        assert main(["calibrate", "--system", "beluga"]) == 0
+        out = capsys.readouterr().out
+        assert '"system": "beluga"' in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig4", "--system", "mars"])

@@ -1,0 +1,218 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Engine, SimError
+
+
+class TestEventBasics:
+    def test_succeed_carries_value(self):
+        eng = Engine()
+        ev = eng.event()
+        ev.succeed(42)
+        assert ev.triggered and ev.ok
+        assert ev.value == 42
+
+    def test_double_trigger_rejected(self):
+        eng = Engine()
+        ev = eng.event()
+        ev.succeed()
+        with pytest.raises(SimError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self):
+        eng = Engine()
+        with pytest.raises(TypeError):
+            eng.event().fail("not an exception")
+
+    def test_value_before_trigger_raises(self):
+        eng = Engine()
+        with pytest.raises(SimError):
+            _ = eng.event().value
+
+    def test_callback_after_trigger_runs_immediately(self):
+        eng = Engine()
+        ev = eng.event()
+        ev.succeed(7)
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        assert seen == [7]
+
+
+class TestTimeoutAndClock:
+    def test_timeout_advances_clock(self):
+        eng = Engine()
+        t = eng.timeout(2.5)
+        eng.run(until=t)
+        assert eng.now == 2.5
+
+    def test_negative_delay_rejected(self):
+        eng = Engine()
+        with pytest.raises(ValueError):
+            eng.timeout(-1)
+
+    def test_run_until_time(self):
+        eng = Engine()
+        fired = []
+        eng.timeout(1.0).add_callback(lambda e: fired.append(1))
+        eng.timeout(3.0).add_callback(lambda e: fired.append(3))
+        eng.run(until=2.0)
+        assert fired == [1]
+        assert eng.now == 2.0
+
+    def test_same_time_fifo_order(self):
+        eng = Engine()
+        order = []
+        for i in range(5):
+            eng.timeout(1.0).add_callback(lambda e, i=i: order.append(i))
+        eng.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_schedule_in_past_rejected(self):
+        eng = Engine()
+        eng.run(until=5.0)
+        with pytest.raises(SimError):
+            eng.call_at(1.0)
+
+
+class TestProcess:
+    def test_simple_process_returns_value(self):
+        eng = Engine()
+
+        def proc():
+            yield eng.timeout(1.0)
+            yield eng.timeout(2.0)
+            return "done"
+
+        p = eng.process(proc())
+        assert eng.run(until=p) == "done"
+        assert eng.now == 3.0
+
+    def test_process_receives_event_value(self):
+        eng = Engine()
+        ev = eng.event()
+
+        def proc():
+            got = yield ev
+            return got * 2
+
+        p = eng.process(proc())
+        eng.timeout(1.0).add_callback(lambda e: ev.succeed(21))
+        assert eng.run(until=p) == 42
+
+    def test_process_waits_on_process(self):
+        eng = Engine()
+
+        def child():
+            yield eng.timeout(5.0)
+            return "child-result"
+
+        def parent():
+            result = yield eng.process(child())
+            return f"got:{result}"
+
+        assert eng.run(until=eng.process(parent())) == "got:child-result"
+        assert eng.now == 5.0
+
+    def test_failure_propagates_to_waiter(self):
+        eng = Engine()
+
+        def child():
+            yield eng.timeout(1.0)
+            raise ValueError("boom")
+
+        def parent():
+            try:
+                yield eng.process(child())
+            except ValueError as exc:
+                return f"caught:{exc}"
+
+        assert eng.run(until=eng.process(parent())) == "caught:boom"
+
+    def test_uncaught_failure_raised_by_run(self):
+        eng = Engine()
+
+        def proc():
+            yield eng.timeout(1.0)
+            raise RuntimeError("unhandled")
+
+        with pytest.raises(RuntimeError, match="unhandled"):
+            eng.run(until=eng.process(proc()))
+
+    def test_yield_non_event_fails_process(self):
+        eng = Engine()
+
+        def proc():
+            yield 123
+
+        with pytest.raises(SimError, match="must yield Event"):
+            eng.run(until=eng.process(proc()))
+
+    def test_non_generator_rejected(self):
+        eng = Engine()
+        with pytest.raises(TypeError):
+            eng.process(lambda: None)
+
+    def test_deadlock_detected(self):
+        eng = Engine()
+        ev = eng.event()  # never triggered
+
+        def proc():
+            yield ev
+
+        with pytest.raises(SimError, match="deadlock"):
+            eng.run(until=eng.process(proc()))
+
+
+class TestCombinators:
+    def test_all_of_waits_for_all(self):
+        eng = Engine()
+        barrier = eng.all_of([eng.timeout(1.0, "a"), eng.timeout(3.0, "b")])
+        assert eng.run(until=barrier) == ["a", "b"]
+        assert eng.now == 3.0
+
+    def test_all_of_empty_succeeds_immediately(self):
+        eng = Engine()
+        assert eng.all_of([]).triggered
+
+    def test_any_of_returns_first(self):
+        eng = Engine()
+        race = eng.any_of([eng.timeout(5.0, "slow"), eng.timeout(1.0, "fast")])
+        idx, value = eng.run(until=race)
+        assert (idx, value) == (1, "fast")
+        assert eng.now == 1.0
+
+    def test_any_of_empty_rejected(self):
+        eng = Engine()
+        with pytest.raises(ValueError):
+            eng.any_of([])
+
+    def test_all_of_fails_fast(self):
+        eng = Engine()
+
+        def failing():
+            yield eng.timeout(1.0)
+            raise ValueError("x")
+
+        barrier = eng.all_of([eng.process(failing()), eng.timeout(10.0)])
+        with pytest.raises(ValueError):
+            eng.run(until=barrier)
+        assert eng.now == 1.0
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_timelines(self):
+        def build_and_run():
+            eng = Engine()
+            log = []
+
+            def worker(n, delay):
+                for i in range(n):
+                    yield eng.timeout(delay)
+                    log.append((eng.now, delay, i))
+
+            procs = [eng.process(worker(4, d)) for d in (0.3, 0.7, 1.1)]
+            eng.run(until=eng.all_of(procs))
+            return log
+
+        assert build_and_run() == build_and_run()

@@ -1,0 +1,185 @@
+"""Tests for the multi-resource max-min fair fabric."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Engine, Fabric, Tracer
+from repro.units import MiB, gbps, us
+
+
+def simple_fabric(eng, **betas):
+    fab = Fabric(eng)
+    for name, beta in betas.items():
+        fab.add_channel(name, alpha=0.0, beta=beta)
+    return fab
+
+
+class TestSingleChannel:
+    def test_hockney_time_with_alpha(self):
+        eng = Engine()
+        fab = Fabric(eng)
+        fab.add_channel("a", alpha=2 * us, beta=gbps(10))
+        eng.run(until=fab.copy("a", 10 * MiB))
+        assert eng.now == pytest.approx(2 * us + 10 * MiB / gbps(10), rel=1e-9)
+
+    def test_two_flows_share(self):
+        eng = Engine()
+        fab = simple_fabric(eng, a=gbps(10))
+        e1 = fab.copy("a", 10 * MiB)
+        e2 = fab.copy("a", 10 * MiB)
+        eng.run(until=eng.all_of([e1, e2]))
+        assert eng.now == pytest.approx(2 * 10 * MiB / gbps(10), rel=1e-6)
+
+    def test_zero_bytes_latency_only(self):
+        eng = Engine()
+        fab = Fabric(eng)
+        fab.add_channel("a", alpha=3 * us, beta=gbps(1))
+        eng.run(until=fab.copy("a", 0))
+        assert eng.now == pytest.approx(3 * us)
+
+    def test_unknown_channel_rejected(self):
+        eng = Engine()
+        fab = simple_fabric(eng, a=gbps(1))
+        with pytest.raises(KeyError):
+            fab.copy("nope", 1)
+
+    def test_duplicate_channel_rejected(self):
+        eng = Engine()
+        fab = simple_fabric(eng, a=gbps(1))
+        with pytest.raises(ValueError):
+            fab.add_channel("a", 0.0, gbps(1))
+
+    def test_empty_channel_list_rejected(self):
+        eng = Engine()
+        fab = simple_fabric(eng, a=gbps(1))
+        with pytest.raises(ValueError):
+            fab.copy([], 1)
+
+
+class TestMultiChannelFlows:
+    def test_rate_is_bottleneck(self):
+        """A flow crossing PCIe(10) and DRAM(40) runs at 10."""
+        eng = Engine()
+        fab = simple_fabric(eng, pcie=gbps(10), dram=gbps(40))
+        eng.run(until=fab.copy(["pcie", "dram"], 10 * MiB))
+        assert eng.now == pytest.approx(10 * MiB / gbps(10), rel=1e-6)
+
+    def test_latency_sums_over_channels(self):
+        eng = Engine()
+        fab = Fabric(eng)
+        fab.add_channel("x", alpha=1 * us, beta=gbps(10))
+        fab.add_channel("y", alpha=2 * us, beta=gbps(10))
+        eng.run(until=fab.copy(["x", "y"], 0))
+        assert eng.now == pytest.approx(3 * us)
+
+    def test_shared_middle_resource_contention(self):
+        """Two flows with disjoint edges but a shared middle channel.
+
+        flow1: a(20) + shared(10); flow2: b(20) + shared(10).
+        Max-min: shared saturates first at 5 each => both run at 5.
+        """
+        eng = Engine()
+        fab = simple_fabric(eng, a=gbps(20), b=gbps(20), shared=gbps(10))
+        e1 = fab.copy(["a", "shared"], 10 * MiB)
+        e2 = fab.copy(["b", "shared"], 10 * MiB)
+        eng.run(until=eng.all_of([e1, e2]))
+        assert eng.now == pytest.approx(10 * MiB / gbps(5), rel=1e-6)
+
+    def test_max_min_unbalanced(self):
+        """One constrained flow frees capacity for an unconstrained one.
+
+        flow1 crosses narrow(2)+wide(10); flow2 crosses wide(10) only.
+        Max-min: flow1 frozen at 2 (narrow), flow2 gets 10-2=8.
+        """
+        eng = Engine()
+        fab = simple_fabric(eng, narrow=gbps(2), wide=gbps(10))
+        e1 = fab.copy(["narrow", "wide"], 2 * MiB)
+        e2 = fab.copy(["wide"], 8 * MiB)
+        eng.run(until=eng.all_of([e1, e2]))
+        # Both finish at the same instant: 2MiB/2GBps == 8MiB/8GBps == 1 MiB/GBps
+        assert e1.value.end == pytest.approx(2 * MiB / gbps(2), rel=1e-6)
+        assert e2.value.end == pytest.approx(8 * MiB / gbps(8), rel=1e-6)
+
+    def test_rates_readjust_on_departure(self):
+        """After the short flow leaves, the long flow speeds up."""
+        eng = Engine()
+        beta = gbps(10)
+        fab = simple_fabric(eng, a=beta)
+        short = fab.copy("a", 5 * MiB)
+        long = fab.copy("a", 15 * MiB)
+        eng.run(until=eng.all_of([short, long]))
+        # shared until short done at t1: each at 5GB/s, short needs 1ms-ish
+        t1 = 5 * MiB / (beta / 2)
+        # long has 15-5=10 MiB left at full rate
+        t2 = t1 + 10 * MiB / beta
+        assert short.value.end == pytest.approx(t1, rel=1e-6)
+        assert long.value.end == pytest.approx(t2, rel=1e-6)
+
+
+class TestDynamics:
+    def test_set_beta(self):
+        eng = Engine()
+        beta = gbps(1)
+        fab = simple_fabric(eng, a=beta)
+        done = fab.copy("a", int(2 * beta))
+
+        def degrade():
+            yield eng.timeout(1.0)
+            fab.set_beta("a", beta / 2)
+
+        eng.process(degrade())
+        eng.run(until=done)
+        assert eng.now == pytest.approx(3.0, rel=1e-6)
+
+    def test_stats_and_trace(self):
+        eng = Engine()
+        tracer = Tracer()
+        fab = Fabric(eng, tracer=tracer)
+        fab.add_channel("a", alpha=0.0, beta=gbps(1))
+        eng.run(until=fab.copy("a", 4 * MiB, tag="t0"))
+        ch = fab.channel("a")
+        assert ch.total_bytes == pytest.approx(4 * MiB)
+        assert ch.total_flows == 1
+        assert tracer.records[0].tag == "t0"
+        fab.reset_stats()
+        assert fab.channel("a").total_bytes == 0
+
+
+class TestFabricProperties:
+    @given(
+        sizes=st.lists(
+            st.integers(min_value=MiB, max_value=32 * MiB), min_size=1, max_size=5
+        ),
+        nshared=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_makespan_bounds(self, sizes, nshared):
+        """Work conservation on the shared bottleneck channel."""
+        eng = Engine()
+        beta = gbps(8)
+        fab = simple_fabric(
+            eng, **{f"edge{i}": gbps(100) for i in range(len(sizes))}, hub=beta
+        )
+        events = [
+            fab.copy([f"edge{i}", "hub"], s) for i, s in enumerate(sizes)
+        ]
+        eng.run(until=eng.all_of(events))
+        # hub is the bottleneck for every flow and never idles:
+        assert eng.now == pytest.approx(sum(sizes) / beta, rel=1e-6)
+
+    @given(
+        sizes=st.lists(
+            st.integers(min_value=MiB, max_value=16 * MiB), min_size=2, max_size=4
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_disjoint_flows_independent(self, sizes):
+        """Flows on disjoint channels don't affect each other."""
+        eng = Engine()
+        beta = gbps(5)
+        fab = simple_fabric(eng, **{f"c{i}": beta for i in range(len(sizes))})
+        events = [fab.copy(f"c{i}", s) for i, s in enumerate(sizes)]
+        eng.run(until=eng.all_of(events))
+        for ev, s in zip(events, sizes):
+            assert ev.value.duration == pytest.approx(s / beta, rel=1e-6)

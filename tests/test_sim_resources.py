@@ -1,0 +1,116 @@
+"""Tests for Semaphore and Store."""
+
+import pytest
+
+from repro.sim import Engine, Semaphore, Store
+
+
+class TestSemaphore:
+    def test_grants_up_to_capacity(self):
+        eng = Engine()
+        sem = Semaphore(eng, capacity=2)
+        a = sem.acquire()
+        b = sem.acquire()
+        c = sem.acquire()
+        assert a.triggered and b.triggered
+        assert not c.triggered
+        assert sem.available == 0
+
+    def test_release_hands_to_waiter_fifo(self):
+        eng = Engine()
+        sem = Semaphore(eng, capacity=1)
+        sem.acquire()
+        w1 = sem.acquire()
+        w2 = sem.acquire()
+        sem.release()
+        assert w1.triggered and not w2.triggered
+        sem.release()
+        assert w2.triggered
+
+    def test_release_below_zero(self):
+        eng = Engine()
+        sem = Semaphore(eng, capacity=1)
+        with pytest.raises(RuntimeError):
+            sem.release()
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Semaphore(Engine(), 0)
+
+    def test_max_in_use_stat(self):
+        eng = Engine()
+        sem = Semaphore(eng, capacity=3)
+        for _ in range(3):
+            sem.acquire()
+        assert sem.max_in_use == 3
+        assert sem.held() == 3
+
+    def test_with_processes_serializes(self):
+        eng = Engine()
+        sem = Semaphore(eng, capacity=1)
+        spans = []
+
+        def worker(i):
+            yield sem.acquire()
+            start = eng.now
+            yield eng.timeout(1.0)
+            sem.release()
+            spans.append((start, eng.now))
+
+        procs = [eng.process(worker(i)) for i in range(3)]
+        eng.run(until=eng.all_of(procs))
+        assert eng.now == pytest.approx(3.0)
+        for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+            assert s2 >= e1  # no overlap
+
+
+class TestStore:
+    def test_put_then_get(self):
+        eng = Engine()
+        store = Store(eng)
+        store.put("a")
+        ev = store.get()
+        assert ev.triggered and ev.value == "a"
+
+    def test_get_then_put(self):
+        eng = Engine()
+        store = Store(eng)
+        ev = store.get()
+        assert not ev.triggered
+        store.put(42)
+        assert ev.triggered and ev.value == 42
+
+    def test_fifo_order(self):
+        eng = Engine()
+        store = Store(eng)
+        store.put(1)
+        store.put(2)
+        assert store.get().value == 1
+        assert store.get().value == 2
+
+    def test_match_predicate_skips_items(self):
+        eng = Engine()
+        store = Store(eng)
+        store.put({"tag": 1})
+        store.put({"tag": 2})
+        ev = store.get(match=lambda m: m["tag"] == 2)
+        assert ev.value == {"tag": 2}
+        assert store.peek_all() == [{"tag": 1}]
+
+    def test_matching_getter_waits_for_matching_item(self):
+        eng = Engine()
+        store = Store(eng)
+        ev = store.get(match=lambda m: m > 10)
+        store.put(5)
+        assert not ev.triggered
+        store.put(11)
+        assert ev.triggered and ev.value == 11
+        assert len(store) == 1  # the 5 is still buffered
+
+    def test_getters_fifo(self):
+        eng = Engine()
+        store = Store(eng)
+        g1 = store.get()
+        g2 = store.get()
+        store.put("x")
+        assert g1.triggered and not g2.triggered

@@ -1,0 +1,82 @@
+"""Unit tests for repro.units."""
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_binary_prefixes(self):
+        assert units.KiB == 1024
+        assert units.MiB == 1024**2
+        assert units.GiB == 1024**3
+
+    def test_decimal_prefixes(self):
+        assert units.KB == 1000
+        assert units.MB == 1000**2
+        assert units.GB == 1000**3
+
+    def test_time_aliases(self):
+        assert units.us == 1e-6
+        assert units.ms == 1e-3
+        assert units.ns == 1e-9
+
+
+class TestConversions:
+    def test_gbps(self):
+        assert units.gbps(25) == 25e9
+
+    def test_gibps(self):
+        assert units.gibps(1) == units.GiB
+
+    def test_to_gbps_roundtrip(self):
+        assert units.to_gbps(units.gbps(42.5)) == pytest.approx(42.5)
+
+
+class TestFormatting:
+    def test_format_bytes_exact(self):
+        assert units.format_bytes(2 * units.MiB) == "2MiB"
+        assert units.format_bytes(units.GiB) == "1GiB"
+        assert units.format_bytes(512) == "512B"
+
+    def test_format_bytes_fractional(self):
+        assert units.format_bytes(1.5 * units.MiB) == "1.50MiB"
+
+    def test_format_time(self):
+        assert units.format_time(3.2e-6) == "3.200us"
+        assert units.format_time(1.5e-3) == "1.500ms"
+        assert units.format_time(2.0) == "2.000s"
+        assert units.format_time(5e-9) == "5.0ns"
+
+    def test_format_bandwidth(self):
+        assert units.format_bandwidth(25e9) == "25.00GB/s"
+        assert units.format_bandwidth(500e6) == "500.00MB/s"
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("4MiB", 4 * units.MiB),
+            ("4M", 4 * units.MiB),
+            ("512K", 512 * units.KiB),
+            ("1G", units.GiB),
+            ("2GB", 2 * units.GB),
+            ("100", 100),
+            ("100B", 100),
+            ("1.5M", int(1.5 * units.MiB)),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert units.parse_size(text) == expected
+
+    def test_parse_case_insensitive(self):
+        assert units.parse_size("4mib") == 4 * units.MiB
+
+    def test_parse_missing_number(self):
+        with pytest.raises(ValueError):
+            units.parse_size("MiB")
+
+    def test_parse_garbage(self):
+        with pytest.raises(ValueError):
+            units.parse_size("abc")

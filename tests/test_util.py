@@ -1,0 +1,140 @@
+"""Tests for repro.util helpers."""
+
+import pytest
+
+from repro.util import LRUCache, Table, ascii_series, make_rng, spawn_rng
+from repro.util.rng import spawn_seed
+
+
+class TestRng:
+    def test_default_seed_deterministic(self):
+        assert make_rng().integers(0, 1000) == make_rng().integers(0, 1000)
+
+    def test_explicit_seed_changes_stream(self):
+        a = make_rng(1).integers(0, 2**32)
+        b = make_rng(2).integers(0, 2**32)
+        assert a != b
+
+    def test_spawn_is_order_independent(self):
+        # The child stream depends only on (seed, key), not creation order.
+        c1 = spawn_rng(7, "link", "a")
+        _ = spawn_rng(7, "link", "b")
+        c1_again = spawn_rng(7, "link", "a")
+        assert c1.integers(0, 2**32) == c1_again.integers(0, 2**32)
+
+    def test_spawn_keys_distinct(self):
+        assert spawn_seed(7, "a") != spawn_seed(7, "b")
+        assert spawn_seed(7, "a") != spawn_seed(8, "a")
+
+    def test_make_rng_with_key(self):
+        a = make_rng(3, "x").integers(0, 2**32)
+        b = spawn_rng(3, "x").integers(0, 2**32)
+        assert a == b
+
+
+class TestTable:
+    def make(self):
+        t = Table(["system", "size", "bw"], title="demo")
+        t.add(system="beluga", size=1, bw=10.0)
+        t.add(system="beluga", size=2, bw=20.0)
+        t.add(system="narval", size=1, bw=30.0)
+        return t
+
+    def test_add_and_column(self):
+        t = self.make()
+        assert t.column("bw") == [10.0, 20.0, 30.0]
+        assert len(t) == 3
+
+    def test_unknown_column_rejected(self):
+        t = self.make()
+        with pytest.raises(KeyError):
+            t.add(bogus=1)
+        with pytest.raises(KeyError):
+            t.column("bogus")
+
+    def test_where(self):
+        t = self.make().where(system="beluga")
+        assert len(t) == 2
+        assert all(r["system"] == "beluga" for r in t)
+
+    def test_groupby(self):
+        groups = self.make().groupby("system")
+        assert set(groups) == {("beluga",), ("narval",)}
+        assert len(groups[("beluga",)]) == 2
+
+    def test_sort(self):
+        t = self.make().sort("bw", reverse=True)
+        assert t.column("bw") == [30.0, 20.0, 10.0]
+
+    def test_render_contains_data(self):
+        text = self.make().render()
+        assert "beluga" in text and "bw" in text and "demo" in text
+
+    def test_render_truncation(self):
+        text = self.make().render(max_rows=1)
+        assert "more rows" in text
+
+    def test_csv(self):
+        csv_text = self.make().to_csv()
+        assert csv_text.splitlines()[0] == "system,size,bw"
+        assert len(csv_text.splitlines()) == 4
+
+    def test_missing_fields_become_none(self):
+        t = Table(["a", "b"])
+        t.add(a=1)
+        assert t.rows[0]["b"] is None
+        assert "-" in t.render()
+
+
+class TestLRUCache:
+    def test_hit_and_miss(self):
+        c = LRUCache(capacity=2)
+        assert c.get("x") is None
+        c.put("x", 1)
+        assert c.get("x") == 1
+        assert c.hits == 1 and c.misses == 1
+
+    def test_eviction_order(self):
+        c = LRUCache(capacity=2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.get("a")  # refresh a
+        c.put("c", 3)  # evicts b
+        assert "b" not in c
+        assert "a" in c and "c" in c
+        assert c.evictions == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_stats(self):
+        c = LRUCache(4)
+        c.put("k", "v")
+        c.get("k")
+        s = c.stats()
+        assert s["hit_rate"] == 1.0
+        assert s["size"] == 1
+
+
+class TestAsciiPlot:
+    def test_renders_series_and_legend(self):
+        x = [2**i for i in range(21, 30)]
+        out = ascii_series(
+            x,
+            {"direct": [i * 1.0 for i in range(9)], "multi": [i * 2.0 for i in range(9)]},
+            title="bw",
+        )
+        assert "bw" in out
+        assert "o=direct" in out and "x=multi" in out
+
+    def test_empty_data(self):
+        assert "(no data)" in ascii_series([], {"a": []}, title="t")
+
+    def test_handles_none_points(self):
+        out = ascii_series([1, 2, 4], {"a": [1.0, None, 3.0]}, logx=True)
+        assert "o=a" in out
+
+    def test_constant_series(self):
+        out = ascii_series([1, 2], {"a": [5.0, 5.0]})
+        assert "o=a" in out
