@@ -5,10 +5,8 @@ that keeps Algorithm 1 closed-form; this bench quantifies what it costs in
 solution quality and what the exact solver costs in time.
 """
 
-import numpy as np
 from conftest import write_result
 
-from repro.bench.runner import get_setup
 from repro.core.numerical import exact_path_time, solve_exact_fractions
 from repro.core.planner import PathPlanner
 from repro.topology.routing import enumerate_paths

@@ -8,9 +8,7 @@ from conftest import write_result
 
 from repro.bench.baselines import dynamic_config
 from repro.bench.omb import osu_bw
-from repro.bench.runner import get_setup
 from repro.core.planner import PathPlanner
-from repro.ucx.tuning import TransportConfig
 from repro.units import MiB
 from repro.util.tables import Table
 

@@ -5,7 +5,7 @@ work; this bench validates our extension: predicted speedups must land in
 the measured band and rank the collectives correctly.
 """
 
-from conftest import BENCH_KW, write_result
+from conftest import write_result
 
 from repro.bench.baselines import dynamic_config
 from repro.bench.collectives import COLLECTIVES

@@ -1,8 +1,7 @@
 """FIG6 bench — regenerates the bidirectional bandwidth grid (Fig. 6)."""
 
-from conftest import BENCH_KW, BENCH_SIZES, write_result
+from conftest import write_result
 
-from repro.bench.experiments import run_fig6
 from repro.bench.report import render_fig6
 
 

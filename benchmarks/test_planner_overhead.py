@@ -7,7 +7,6 @@ of the simulated time of the large transfers it configures.
 
 from conftest import write_result
 
-from repro.bench.runner import get_setup
 from repro.core.planner import PathPlanner
 from repro.units import MiB
 from repro.util.tables import Table

@@ -11,7 +11,6 @@ multi-path stack, and reports per-step communication time and speedup.
 Run:  python examples/ddp_gradient_sync.py
 """
 
-import numpy as np
 
 from repro.bench.baselines import direct_config, dynamic_config
 from repro.bench.collectives import allreduce_bench

@@ -14,6 +14,7 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.core.params import ParameterStore
+from repro.obs import Observability
 from repro.sim.noise import ComposedJitter, LognormalJitter, SizeDependentEfficiency
 from repro.topology.links import LinkKind
 from repro.topology.node import ChannelDef
@@ -80,6 +81,10 @@ class BenchEnvironment:
     store: ParameterStore | None = None
     jitter_factory: Callable | None = None
     trace: bool = False
+    #: Attach an :class:`~repro.obs.Observability` bundle (metrics registry,
+    #: span log, planner decision log) to every fresh context.  Implies
+    #: tracing, so the Chrome-trace export covers fabric copies too.
+    observe: bool = False
 
     def with_config(self, config: TransportConfig) -> "BenchEnvironment":
         return BenchEnvironment(
@@ -88,12 +93,19 @@ class BenchEnvironment:
             store=self.store,
             jitter_factory=self.jitter_factory,
             trace=self.trace,
+            observe=self.observe,
         )
 
     def fresh(self, size: int | None = None):
-        """New (engine, context, communicator[, tracer]) for one run."""
+        """New (engine, context, communicator[, tracer]) for one run.
+
+        The created context stays reachable as :attr:`last_context`, so
+        callers of measurement loops that build their own fresh context
+        (``osu_bw`` et al.) can read metrics/traces after the run.
+        """
         engine = Engine()
-        tracer = Tracer() if self.trace else None
+        tracer = Tracer() if (self.trace or self.observe) else None
+        obs = Observability() if self.observe else None
         context = UCXContext(
             engine,
             self.topology,
@@ -101,6 +113,7 @@ class BenchEnvironment:
             store=self.store,
             tracer=tracer,
             jitter_factory=self.jitter_factory,
+            obs=obs,
         )
         comm = Communicator(
             context,
@@ -109,7 +122,13 @@ class BenchEnvironment:
                 self.topology.name, DEFAULT_REDUCE_BANDWIDTH
             ),
         )
+        self._last_context = context
         return engine, context, comm
+
+    @property
+    def last_context(self) -> UCXContext | None:
+        """The most recently created context (None before any ``fresh``)."""
+        return getattr(self, "_last_context", None)
 
 
 __all__ = ["BenchEnvironment", "REDUCE_BANDWIDTH", "DEFAULT_REDUCE_BANDWIDTH"]

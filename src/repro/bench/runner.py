@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.bench.baselines import (
     StaticSearchResult,
@@ -51,12 +53,16 @@ class SystemSetup:
     jitter_seed: int = 0
     jitter_sigma: float = 0.0  # systematic-only by default: deterministic
 
-    def env(self, config) -> BenchEnvironment:
+    def env(
+        self, config, *, trace: bool = False, observe: bool = False
+    ) -> BenchEnvironment:
         return BenchEnvironment(
             topology=self.topology,
             config=config,
             store=self.store,
             jitter_factory=default_jitter_factory(self.jitter_seed, self.jitter_sigma),
+            trace=trace,
+            observe=observe,
         )
 
 
@@ -136,6 +142,47 @@ def clear_caches() -> None:
     _STATIC_CACHE.clear()
 
 
+def dump_artifacts(prefix: str | Path, context) -> list[Path]:
+    """Write observability artifacts for one instrumented run.
+
+    Given a context created by an ``observe=True`` environment (reachable
+    via :attr:`BenchEnvironment.last_context` after a measurement loop),
+    writes up to three files next to the experiment's results and returns
+    their paths:
+
+    * ``<prefix>.metrics.json`` — :meth:`MetricsRegistry.snapshot`;
+    * ``<prefix>.trace.json`` — Chrome-trace timeline (fabric copies +
+      put/path spans), loadable in ``chrome://tracing`` / Perfetto;
+    * ``<prefix>.decisions.jsonl`` — one planner decision per line.
+    """
+    from repro.obs import dump_chrome_trace
+
+    prefix = Path(prefix)
+    if prefix.parent != Path("."):
+        prefix.parent.mkdir(parents=True, exist_ok=True)
+    obs = getattr(context, "obs", None)
+    written: list[Path] = []
+    if obs is not None:
+        metrics_path = prefix.with_name(prefix.name + ".metrics.json")
+        metrics_path.write_text(json.dumps(obs.metrics.snapshot(), indent=2))
+        written.append(metrics_path)
+    tracer = getattr(context, "tracer", None)
+    if tracer is not None or (obs is not None and len(obs.spans)):
+        trace_path = prefix.with_name(prefix.name + ".trace.json")
+        dump_chrome_trace(
+            trace_path,
+            tracer,
+            obs.spans if obs is not None else None,
+            metadata={"topology": context.topology.name},
+        )
+        written.append(trace_path)
+    if obs is not None and len(obs.decisions):
+        decisions_path = prefix.with_name(prefix.name + ".decisions.jsonl")
+        decisions_path.write_text(obs.decisions.to_jsonl() + "\n")
+        written.append(decisions_path)
+    return written
+
+
 __all__ = [
     "PATH_CONFIGS",
     "SystemSetup",
@@ -145,4 +192,5 @@ __all__ = [
     "get_static_shares",
     "configs_for",
     "clear_caches",
+    "dump_artifacts",
 ]

@@ -11,11 +11,14 @@ Usage::
     python -m repro.cli observations         # OBS1-5 checks
     python -m repro.cli calibrate --system narval
     python -m repro.cli all --quick -o EXPERIMENTS.md
+    python -m repro.cli stats --size 64M     # metrics snapshot of one BW run
+    python -m repro.cli trace -o trace.json  # Chrome-trace timeline export
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -29,10 +32,13 @@ from repro.bench.experiments import (
     run_fig6,
     run_fig7,
 )
+from repro.bench.baselines import dynamic_config
 from repro.bench.experiments.concurrent_pairs import run_concurrent_pairs
 from repro.bench.experiments.fig7_collectives import collective_sizes
+from repro.bench.omb import osu_bw
 from repro.bench.runner import default_sizes, get_setup, quick_sizes
-from repro.units import MiB
+from repro.obs import chrome_trace
+from repro.units import MiB, parse_size
 
 
 def _systems(args) -> tuple[str, ...]:
@@ -162,8 +168,84 @@ def cmd_all(args):
         print(text)
 
 
+def _instrumented_bw_run(args, system: str):
+    """One FIG5-style instrumented osu_bw run; returns (env, result)."""
+    setup = get_setup(system)
+    env = setup.env(dynamic_config(), observe=True)
+    try:
+        nbytes = parse_size(args.size) if args.size else 64 * MiB
+    except ValueError:
+        raise SystemExit(
+            f"error: invalid --size {args.size!r} (expected e.g. 64M, 4K, 1G)"
+        ) from None
+    result = osu_bw(
+        env,
+        nbytes,
+        window=1 if args.quick else 16,
+        iterations=2 if args.quick else 4,
+    )
+    return env, result
+
+
+def cmd_stats(args):
+    """Run one instrumented BW point per system and print the snapshot.
+
+    One system prints its snapshot at top level; several print a single
+    JSON object keyed by system name (so the output is always one
+    parseable document and ``-o`` never silently keeps only the last run).
+    """
+    snaps = {}
+    for system in _systems(args):
+        env, result = _instrumented_bw_run(args, system)
+        ctx = env.last_context
+        snap = ctx.obs.metrics.snapshot()
+        snap["run"] = {
+            "system": system,
+            "nbytes": result.nbytes,
+            "window": result.window,
+            "iterations": result.iterations,
+            "bandwidth_gbps": result.bandwidth / 1e9,
+        }
+        snaps[system] = snap
+    doc = next(iter(snaps.values())) if len(snaps) == 1 else snaps
+    text = json.dumps(doc, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+
+
+def cmd_trace(args):
+    """Export a Chrome-trace timeline of one instrumented BW run."""
+    system = _systems(args)[0]
+    env, result = _instrumented_bw_run(args, system)
+    ctx = env.last_context
+    trace = chrome_trace(
+        ctx.tracer,
+        ctx.obs.spans,
+        metadata={
+            "system": system,
+            "nbytes": result.nbytes,
+            "window": result.window,
+            "bandwidth_gbps": result.bandwidth / 1e9,
+        },
+    )
+    out = args.output or "trace.json"
+    with open(out, "w") as f:
+        json.dump(trace, f)
+    print(
+        f"wrote {out} ({len(trace['traceEvents'])} events; load in "
+        "chrome://tracing or https://ui.perfetto.dev)",
+        file=sys.stderr,
+    )
+
+
 COMMANDS = {
     "calibrate": cmd_calibrate,
+    "stats": cmd_stats,
+    "trace": cmd_trace,
     "conc": cmd_conc,
     "fig4": cmd_fig4,
     "fig5": cmd_fig5,
@@ -191,7 +273,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--quick", action="store_true", help="reduced sweep for fast runs"
     )
-    parser.add_argument("-o", "--output", help="write EXPERIMENTS.md here (all)")
+    parser.add_argument(
+        "--size",
+        help="message size for stats/trace runs, e.g. 64M (default: 64M)",
+    )
+    parser.add_argument(
+        "-o", "--output", help="output file (all: EXPERIMENTS.md; stats/trace: JSON)"
+    )
     args = parser.parse_args(argv)
     COMMANDS[args.command](args)
     return 0

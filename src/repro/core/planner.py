@@ -17,8 +17,10 @@ bench).
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -35,6 +37,9 @@ from repro.topology.node import NodeTopology
 from repro.topology.routing import PathDescriptor, PathKind, enumerate_paths
 from repro.units import MiB
 from repro.util.cache import LRUCache
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability
 
 #: Message-size window used to fit φ when no calibrated value exists.
 DEFAULT_PHI_SIZES = tuple(int(2**i * MiB) for i in range(1, 10))  # 2MiB..512MiB
@@ -143,6 +148,7 @@ class PathPlanner:
         max_chunks: int = 64,
         phi_sizes: Sequence[int] = DEFAULT_PHI_SIZES,
         phi_mode: str = "per-size",
+        obs: "Observability | None" = None,
     ) -> None:
         if phi_mode not in ("per-size", "calibrated"):
             raise ValueError("phi_mode must be 'per-size' or 'calibrated'")
@@ -160,6 +166,9 @@ class PathPlanner:
         self.phi_mode = phi_mode
         self.cache: LRUCache = LRUCache(cache_capacity)
         self._phi_cache: dict[str, float] = {}
+        #: Optional observability bundle; every guard below is one
+        #: ``is not None`` check so the uninstrumented path stays free.
+        self.obs = obs
 
     # ------------------------------------------------------------------
     def plan(
@@ -174,12 +183,14 @@ class PathPlanner:
         use_cache: bool = True,
     ) -> TransferPlan:
         """Plan a transfer over all (non-excluded) available paths."""
+        obs = self.obs
+        t0 = time.perf_counter() if obs is not None else 0.0
         exclude = tuple(sorted(exclude))
         key = (src, dst, int(nbytes), include_host, max_gpu_staged, exclude)
         if use_cache:
             cached = self.cache.get(key)
             if cached is not None:
-                return TransferPlan(
+                plan = TransferPlan(
                     src=cached.src,
                     dst=cached.dst,
                     nbytes=cached.nbytes,
@@ -187,6 +198,9 @@ class PathPlanner:
                     predicted_time=cached.predicted_time,
                     from_cache=True,
                 )
+                if obs is not None:
+                    self._observe_plan(obs, plan, time.perf_counter() - t0)
+                return plan
         paths = enumerate_paths(
             self.topology,
             src,
@@ -198,7 +212,25 @@ class PathPlanner:
         plan = self.plan_for_paths(src, dst, nbytes, paths)
         if use_cache:
             self.cache.put(key, plan)
+        if obs is not None:
+            self._observe_plan(obs, plan, time.perf_counter() - t0)
         return plan
+
+    def _observe_plan(
+        self, obs: "Observability", plan: TransferPlan, wall_time_s: float
+    ) -> None:
+        """Record one decision (cold on the uninstrumented path)."""
+        obs.decisions.log_plan(
+            plan, cache_hit=plan.from_cache, wall_time_s=wall_time_s
+        )
+        m = obs.metrics
+        m.counter("planner.plans").inc()
+        if plan.from_cache:
+            m.counter("planner.cache_hits").inc()
+        else:
+            m.counter("planner.plans_computed").inc()
+        m.timer("planner.plan_wall").observe(wall_time_s)
+        m.histogram("planner.nbytes").observe(plan.nbytes)
 
     # ------------------------------------------------------------------
     def plan_for_paths(

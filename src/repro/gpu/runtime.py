@@ -69,6 +69,9 @@ class GPURuntime:
         kwargs = {} if ipc_open_cost is None else {"open_cost": ipc_open_cost}
         self.ipc = IpcHandleCache(engine, **kwargs)
         self._stream_count = 0
+        # run-level counters (always on: one int add per enqueued copy)
+        self.copies_issued = 0
+        self.copy_bytes_requested = 0
         if copy_engines is not None and copy_engines < 1:
             raise ValueError("copy_engines must be >= 1 (or None)")
         self._copy_engines: dict[int, Semaphore] | None = None
@@ -114,6 +117,8 @@ class GPURuntime:
         When the runtime was built with bounded ``copy_engines``, the copy
         first claims an engine slot on the stream's device.
         """
+        self.copies_issued += 1
+        self.copy_bytes_requested += nbytes
         sem = (
             self._copy_engines.get(stream.device_id)
             if self._copy_engines is not None
@@ -168,6 +173,19 @@ class GPURuntime:
             s.synchronize() for dev in self.devices for s in dev.streams
         ]
         return self.engine.all_of(tails)
+
+    # ------------------------------------------------------------------
+    def stats_snapshot(self) -> dict:
+        """Structured run statistics, pulled by a metrics collector."""
+        return {
+            "copies_issued": self.copies_issued,
+            "copy_bytes_requested": self.copy_bytes_requested,
+            "streams_created": self._stream_count,
+            "streams_per_device": {
+                d.device_id: len(d.streams) for d in self.devices
+            },
+            "ipc_cache": self.ipc.cache.stats(),
+        }
 
 
 __all__ = ["GPURuntime", "Device"]

@@ -76,6 +76,9 @@ class Communicator:
         self._coll_seq: dict[int, int] = {}
         self.messages_matched = 0
         self.bytes_transferred = 0
+        self.local_copies = 0
+        if context.obs is not None:
+            context.obs.metrics.register_collector("mpi", self.stats_snapshot)
 
     # ------------------------------------------------------------------
     def view(self, rank: int) -> "RankView":
@@ -155,6 +158,7 @@ class Communicator:
         if src_dev == dst_dev:
             # Same-device "transfer": local copy, effectively instant at
             # this modelling granularity.
+            self.local_copies += 1
             send.request._finish(None)
             recv.request._finish(send.payload)
             return
@@ -196,6 +200,19 @@ class Communicator:
     def unmatched(self) -> tuple[int, int]:
         """(pending sends, posted recvs) — should be (0, 0) at teardown."""
         return len(self._pending_sends), len(self._posted_recvs)
+
+    def stats_snapshot(self) -> dict:
+        """Structured run statistics, pulled by a metrics collector."""
+        pending, posted = self.unmatched
+        return {
+            "size": self.size,
+            "messages_matched": self.messages_matched,
+            "bytes_transferred": self.bytes_transferred,
+            "local_copies": self.local_copies,
+            "barrier_epochs": self._barrier_epoch,
+            "unmatched_sends": pending,
+            "unmatched_recvs": posted,
+        }
 
 
 class RankView:

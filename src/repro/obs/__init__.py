@@ -1,0 +1,53 @@
+"""Observability: metrics registry, span log, planner decisions, exporters.
+
+One :class:`Observability` bundle per instrumented run, threaded through
+:class:`~repro.ucx.context.UCXContext` into the planner, pipeline engine,
+and cuda_ipc module.  All instrumentation is optional: components take
+``obs=None`` and guard every touch point, so the uninstrumented hot path
+costs nothing (verified by ``benchmarks/test_planner_overhead.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.chrome_trace import chrome_trace, dump_chrome_trace, trace_events
+from repro.obs.decision_log import PlannerDecision, PlannerDecisionLog
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+from repro.obs.spans import Span, SpanLog
+
+
+@dataclass
+class Observability:
+    """The per-run bundle: metrics + spans + planner decisions."""
+
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    spans: SpanLog = field(default_factory=SpanLog)
+    decisions: PlannerDecisionLog = field(default_factory=PlannerDecisionLog)
+
+    @classmethod
+    def create(cls) -> "Observability":
+        return cls()
+
+
+__all__ = [
+    "Observability",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Timer",
+    "Histogram",
+    "SpanLog",
+    "Span",
+    "PlannerDecision",
+    "PlannerDecisionLog",
+    "chrome_trace",
+    "trace_events",
+    "dump_chrome_trace",
+]

@@ -1,0 +1,131 @@
+"""Chrome-trace (``chrome://tracing`` / Perfetto) timeline export.
+
+Converts :class:`~repro.sim.trace.Tracer` records (one per completed channel
+transfer) and :class:`~repro.obs.spans.SpanLog` spans (puts, per-path
+pipeline executions, planner calls) into the Trace Event Format: a JSON
+object with a ``traceEvents`` list of complete ("ph": "X") events carrying
+``pid``/``tid``/``ts``/``dur``, plus metadata ("ph": "M") events naming the
+rows.  Simulated seconds map to trace microseconds.
+
+Load the output via ``chrome://tracing`` or https://ui.perfetto.dev.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.spans import SpanLog
+    from repro.sim.trace import Tracer
+
+#: Trace-event timestamps are microseconds; the simulator runs in seconds.
+_US = 1e6
+
+FABRIC_PID = 0
+TRANSPORT_PID = 1
+
+
+def _meta(pid: int, name: str) -> dict:
+    return {
+        "name": "process_name",
+        "ph": "M",
+        "pid": pid,
+        "tid": 0,
+        "args": {"name": name},
+    }
+
+
+def _thread_meta(pid: int, tid: int, name: str) -> dict:
+    return {
+        "name": "thread_name",
+        "ph": "M",
+        "pid": pid,
+        "tid": tid,
+        "args": {"name": name},
+    }
+
+
+def trace_events(
+    tracer: "Tracer | None" = None, spans: "SpanLog | None" = None
+) -> list[dict]:
+    """Flat ``traceEvents`` list for the given sources."""
+    events: list[dict] = []
+    if tracer is not None and tracer.records:
+        events.append(_meta(FABRIC_PID, "fabric (channels)"))
+        tids: dict[str, int] = {}
+        for rec in tracer.records:
+            tid = tids.get(rec.channel)
+            if tid is None:
+                tid = tids[rec.channel] = len(tids)
+                events.append(_thread_meta(FABRIC_PID, tid, rec.channel))
+            events.append(
+                {
+                    "name": rec.tag or rec.channel,
+                    "cat": "fabric",
+                    "ph": "X",
+                    "pid": FABRIC_PID,
+                    "tid": tid,
+                    "ts": rec.start * _US,
+                    "dur": rec.duration * _US,
+                    "args": {"nbytes": rec.nbytes, "channel": rec.channel},
+                }
+            )
+    if spans is not None and spans.spans:
+        events.append(_meta(TRANSPORT_PID, "transport (puts / paths / plans)"))
+        tids = {}
+        for span in spans.spans:
+            tid = tids.get(span.track)
+            if tid is None:
+                tid = tids[span.track] = len(tids)
+                events.append(_thread_meta(TRANSPORT_PID, tid, span.track))
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.cat,
+                    "ph": "X",
+                    "pid": TRANSPORT_PID,
+                    "tid": tid,
+                    "ts": span.start * _US,
+                    "dur": span.duration * _US,
+                    "args": dict(span.args),
+                }
+            )
+    return events
+
+
+def chrome_trace(
+    tracer: "Tracer | None" = None,
+    spans: "SpanLog | None" = None,
+    *,
+    metadata: dict | None = None,
+) -> dict:
+    """The full trace object (``traceEvents`` + display hints)."""
+    return {
+        "traceEvents": trace_events(tracer, spans),
+        "displayTimeUnit": "ms",
+        "otherData": metadata or {},
+    }
+
+
+def dump_chrome_trace(
+    path: str | Path,
+    tracer: "Tracer | None" = None,
+    spans: "SpanLog | None" = None,
+    *,
+    metadata: dict | None = None,
+) -> Path:
+    """Write the trace JSON to ``path`` and return it."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(tracer, spans, metadata=metadata)))
+    return path
+
+
+__all__ = [
+    "chrome_trace",
+    "trace_events",
+    "dump_chrome_trace",
+    "FABRIC_PID",
+    "TRANSPORT_PID",
+]

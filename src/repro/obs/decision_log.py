@@ -1,0 +1,95 @@
+"""Planner decision log: one structured record per Algorithm 1 invocation.
+
+The paper's accuracy story (≤6 % error, <0.1 % overhead) is a statement
+about what the planner decided and how long deciding took.  Each
+:meth:`~repro.core.planner.PathPlanner.plan` call appends a
+:class:`PlannerDecision` carrying the inputs, the resulting θ*/chunk
+configuration, the predicted time, and whether the configuration cache
+served the request.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.planner import TransferPlan
+
+
+@dataclass(frozen=True)
+class PlannerDecision:
+    seq: int
+    src: int
+    dst: int
+    nbytes: int
+    cache_hit: bool
+    predicted_time: float
+    wall_time_s: float  # wall-clock cost of this plan() call
+    path_ids: tuple[str, ...]
+    thetas: tuple[float, ...]
+    chunks: tuple[int, ...]
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+class PlannerDecisionLog:
+    """Append-only log with cache-hit accounting."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.records: list[PlannerDecision] = []
+
+    def log_plan(
+        self, plan: "TransferPlan", *, cache_hit: bool, wall_time_s: float
+    ) -> None:
+        if not self.enabled:
+            return
+        self.records.append(
+            PlannerDecision(
+                seq=len(self.records),
+                src=plan.src,
+                dst=plan.dst,
+                nbytes=plan.nbytes,
+                cache_hit=cache_hit,
+                predicted_time=plan.predicted_time,
+                wall_time_s=wall_time_s,
+                path_ids=tuple(a.path.path_id for a in plan.assignments),
+                thetas=tuple(a.theta for a in plan.assignments),
+                chunks=tuple(a.chunks for a in plan.assignments),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.records if r.cache_hit)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / len(self.records) if self.records else 0.0
+
+    def total_wall_time(self) -> float:
+        return sum(r.wall_time_s for r in self.records)
+
+    def summary(self) -> dict:
+        return {
+            "decisions": len(self.records),
+            "cache_hits": self.cache_hits,
+            "cache_hit_rate": self.cache_hit_rate,
+            "total_wall_time_s": self.total_wall_time(),
+        }
+
+    def to_jsonl(self) -> str:
+        return "\n".join(json.dumps(r.to_dict()) for r in self.records)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+__all__ = ["PlannerDecision", "PlannerDecisionLog"]

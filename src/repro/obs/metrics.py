@@ -1,0 +1,274 @@
+"""A lightweight metrics registry: counters, gauges, timers, histograms.
+
+Two acquisition styles coexist:
+
+* **push** — components hold pre-resolved instruments (``registry.counter``
+  returns the same object for the same name) and call ``inc``/``observe`` on
+  hot paths.  Instruments are created once at wiring time, so steady-state
+  cost is one attribute add — no per-event allocation;
+* **pull** — components that already keep cheap local counters (the engine's
+  event count, a fabric channel's byte totals, an LRU cache's stats) expose
+  them through a *collector*: a zero-argument callable returning a dict,
+  invoked only at :meth:`MetricsRegistry.snapshot` time.
+
+A disabled registry hands out shared null instruments whose mutators are
+no-ops, so instrumented code needs no ``if enabled`` branches of its own.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections.abc import Callable
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A value that can move both ways (queue depths, pool sizes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Timer:
+    """Accumulates wall-clock durations (``perf_counter`` based).
+
+    Used for the planner-overhead accounting: the paper's <0.1 % claim is
+    about *wall-clock* planning cost against simulated transfer time.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def time(self) -> "_TimerContext":
+        return _TimerContext(self)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "total_s": self.total,
+            "mean_s": self.mean,
+            "min_s": self.min if self.count else 0.0,
+            "max_s": self.max,
+        }
+
+
+class _TimerContext:
+    __slots__ = ("_timer", "_t0")
+
+    def __init__(self, timer: Timer) -> None:
+        self._timer = timer
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._timer.observe(time.perf_counter() - self._t0)
+
+
+class Histogram:
+    """Power-of-two bucketed histogram (message sizes, chunk counts)."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+        self.buckets: dict[int, int] = {}  # exponent -> count
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        exp = max(0, int(value).bit_length() - 1) if value >= 1 else 0
+        self.buckets[exp] = self.buckets.get(exp, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+            "buckets": {f"2^{e}": n for e, n in sorted(self.buckets.items())},
+        }
+
+
+class _NullInstrument:
+    """Shared no-op stand-in handed out by disabled registries."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def time(self) -> "_NullInstrument":
+        return self
+
+    def __enter__(self) -> "_NullInstrument":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+    def snapshot(self) -> float:
+        return 0.0
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Named instruments plus pull-collectors, snapshottable to a dict."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._timers: dict[str, Timer] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._collectors: dict[str, Callable[[], dict]] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return NULL_INSTRUMENT  # type: ignore[return-value]
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return NULL_INSTRUMENT  # type: ignore[return-value]
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge(name)
+        return inst
+
+    def timer(self, name: str) -> Timer:
+        if not self.enabled:
+            return NULL_INSTRUMENT  # type: ignore[return-value]
+        inst = self._timers.get(name)
+        if inst is None:
+            inst = self._timers[name] = Timer(name)
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        if not self.enabled:
+            return NULL_INSTRUMENT  # type: ignore[return-value]
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram(name)
+        return inst
+
+    # ------------------------------------------------------------------
+    def register_collector(self, name: str, fn: Callable[[], dict]) -> None:
+        """Register a pull source; ``fn()`` is invoked at snapshot time.
+
+        Re-registering a name replaces the previous collector (fresh
+        contexts supersede stale ones within one environment).
+        """
+        if self.enabled:
+            self._collectors[name] = fn
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """One structured dict of everything the run measured."""
+        if not self.enabled:
+            return {}
+        out: dict = {}
+        if self._counters:
+            out["counters"] = {n: c.value for n, c in sorted(self._counters.items())}
+        if self._gauges:
+            out["gauges"] = {n: g.value for n, g in sorted(self._gauges.items())}
+        if self._timers:
+            out["timers"] = {n: t.snapshot() for n, t in sorted(self._timers.items())}
+        if self._histograms:
+            out["histograms"] = {
+                n: h.snapshot() for n, h in sorted(self._histograms.items())
+            }
+        for name, fn in sorted(self._collectors.items()):
+            out[name] = fn()
+        return out
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Timer",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_INSTRUMENT",
+]

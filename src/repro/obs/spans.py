@@ -1,0 +1,63 @@
+"""Span log: named time intervals beyond the fabric's per-copy records.
+
+The :class:`~repro.sim.trace.Tracer` sees completed channel transfers only.
+Higher layers (puts, per-path pipeline executions, planner invocations)
+record :class:`Span` entries here so the Chrome-trace export can show the
+full stack: put -> paths -> channel copies on one timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Span:
+    """A named interval on a track (Chrome-trace thread)."""
+
+    name: str
+    cat: str  # "put" | "path" | "plan" | ...
+    track: str  # groups spans onto one timeline row
+    start: float
+    end: float
+    args: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class SpanLog:
+    """Append-only span sink, mirroring the Tracer's API shape."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.spans: list[Span] = []
+
+    def record(
+        self,
+        name: str,
+        cat: str,
+        track: str,
+        start: float,
+        end: float,
+        **args,
+    ) -> None:
+        if self.enabled:
+            self.spans.append(Span(name, cat, track, start, end, args))
+
+    # ------------------------------------------------------------------
+    def for_cat(self, cat: str) -> list[Span]:
+        return [s for s in self.spans if s.cat == cat]
+
+    def for_track(self, track: str) -> list[Span]:
+        return [s for s in self.spans if s.track == track]
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def clear(self) -> None:
+        self.spans.clear()
+
+
+__all__ = ["Span", "SpanLog"]

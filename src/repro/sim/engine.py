@@ -225,6 +225,7 @@ class Engine:
         self._heap: list[tuple[float, int, Event, Any]] = []
         self._seq = 0
         self._running = False
+        self.events_processed = 0
 
     # ------------------------------------------------------------------
     # Event factories
@@ -265,6 +266,7 @@ class Engine:
     def step(self) -> None:
         at, _, event, value = heapq.heappop(self._heap)
         self.now = at
+        self.events_processed += 1
         if not event.triggered:
             event.succeed(value)
 
@@ -307,6 +309,14 @@ class Engine:
     @property
     def queued(self) -> int:
         return len(self._heap)
+
+    def stats_snapshot(self) -> dict:
+        """Cheap always-on counters, pulled by a metrics collector."""
+        return {
+            "now": self.now,
+            "events_processed": self.events_processed,
+            "queued": len(self._heap),
+        }
 
 
 __all__ = [

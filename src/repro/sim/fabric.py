@@ -43,6 +43,13 @@ class FabricChannel:
     total_flows: int = 0
     busy_time: float = 0.0
     max_concurrency: int = 0
+    # Completion accounting attributed to the *primary* (first) channel of
+    # each flow, mirroring how the Tracer records transfers — so
+    # ``completed_bytes`` equals ``Tracer.total_bytes(name)`` exactly,
+    # unlike ``total_bytes`` which integrates jitter-inflated fluid demand
+    # over every crossed channel.
+    completed_bytes: float = 0.0
+    completed_flows: int = 0
 
     def __post_init__(self) -> None:
         if self.alpha < 0:
@@ -76,6 +83,11 @@ class Fabric:
         self._next_flow_id = 0
         self._last_sync = 0.0
         self._wakeup_generation = 0
+        # run-level counters (always on: one int add per flow / recompute)
+        self.flows_admitted = 0
+        self.flows_completed = 0
+        self.zero_byte_copies = 0
+        self.rate_recomputes = 0
 
     # ------------------------------------------------------------------
     # Topology construction
@@ -162,6 +174,7 @@ class Fabric:
         )
         self._next_flow_id += 1
         if nbytes == 0:
+            self.zero_byte_copies += 1
             self.engine.call_at(start + latency).add_callback(
                 lambda _ev, f=flow: self._finish(f)
             )
@@ -177,6 +190,7 @@ class Fabric:
     def _admit(self, flow: FabricFlow) -> None:
         self._sync()
         flow.admitted = True
+        self.flows_admitted += 1
         self._flows[flow.flow_id] = flow
         for name in flow.channels:
             ch = self.channels[name]
@@ -189,9 +203,15 @@ class Fabric:
         now = self.engine.now
         elapsed = now - self._last_sync
         if elapsed > 0 and self._flows:
+            # A channel is busy only if its crossing flows moved bytes in
+            # this interval: flows frozen at rate 0 by progressive filling
+            # occupy the channel nominally but transfer nothing, and must
+            # not inflate utilisation reports.
             busy_channels = set()
             for flow in self._flows.values():
                 progressed = flow.rate * elapsed
+                if progressed <= 0:
+                    continue
                 flow.remaining = max(0.0, flow.remaining - progressed)
                 for name in flow.channels:
                     self.channels[name].total_bytes += progressed
@@ -238,6 +258,7 @@ class Fabric:
         self._wakeup_generation += 1
         if not self._flows:
             return
+        self.rate_recomputes += 1
         self._max_min_rates()
         horizons = [
             flow.remaining / flow.rate
@@ -286,6 +307,11 @@ class Fabric:
 
     def _finish(self, flow: FabricFlow) -> None:
         now = self.engine.now
+        self.flows_completed += 1
+        if flow.channels:
+            ch = self.channels[flow.channels[0]]
+            ch.completed_bytes += flow.nbytes
+            ch.completed_flows += 1
         if self.tracer is not None:
             primary = flow.channels[0] if flow.channels else ""
             self.tracer.record(primary, flow.tag, flow.start_time, now, flow.nbytes)
@@ -313,11 +339,38 @@ class Fabric:
         return [f for f in self._flows.values() if channel_name in f.channels]
 
     def reset_stats(self) -> None:
+        self.flows_admitted = 0
+        self.flows_completed = 0
+        self.zero_byte_copies = 0
+        self.rate_recomputes = 0
         for ch in self.channels.values():
             ch.total_bytes = 0.0
             ch.total_flows = 0
             ch.busy_time = 0.0
             ch.max_concurrency = 0
+            ch.completed_bytes = 0.0
+            ch.completed_flows = 0
+
+    def stats_snapshot(self) -> dict:
+        """Structured run statistics, pulled by a metrics collector."""
+        return {
+            "flows_admitted": self.flows_admitted,
+            "flows_completed": self.flows_completed,
+            "zero_byte_copies": self.zero_byte_copies,
+            "rate_recomputes": self.rate_recomputes,
+            "active_flows": len(self._flows),
+            "channels": {
+                name: {
+                    "total_bytes": ch.total_bytes,
+                    "completed_bytes": ch.completed_bytes,
+                    "completed_flows": ch.completed_flows,
+                    "total_flows": ch.total_flows,
+                    "busy_time": ch.busy_time,
+                    "max_concurrency": ch.max_concurrency,
+                }
+                for name, ch in sorted(self.channels.items())
+            },
+        }
 
 
 def route_latency(fabric: Fabric, channel_names: Iterable[str]) -> float:

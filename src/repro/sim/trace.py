@@ -63,17 +63,22 @@ class Tracer:
     def concurrency_profile(
         self, records: Iterable[TraceRecord] | None = None
     ) -> list[tuple[float, int]]:
-        """(time, active-count) steps over the given records."""
+        """(time, active-count) steps over the given records.
+
+        Deltas at identical timestamps are aggregated before accumulating:
+        a zero-duration record (its -1 edge sorts before its +1) or a
+        transfer ending exactly when another starts must not produce a
+        transient dip — or a negative count — in the profile.
+        """
         recs = list(self.records if records is None else records)
-        edges: list[tuple[float, int]] = []
+        deltas: dict[float, int] = {}
         for r in recs:
-            edges.append((r.start, +1))
-            edges.append((r.end, -1))
-        edges.sort()
+            deltas[r.start] = deltas.get(r.start, 0) + 1
+            deltas[r.end] = deltas.get(r.end, 0) - 1
         profile = []
         active = 0
-        for t, delta in edges:
-            active += delta
+        for t in sorted(deltas):
+            active += deltas[t]
             profile.append((t, active))
         return profile
 

@@ -12,6 +12,7 @@ from collections.abc import Callable
 from repro.core.params import ParameterStore
 from repro.core.planner import PathPlanner
 from repro.gpu.runtime import GPURuntime
+from repro.obs import Observability
 from repro.sim.engine import Engine
 from repro.sim.trace import Tracer
 from repro.topology.node import NodeTopology
@@ -34,11 +35,13 @@ class UCXContext:
         tracer: Tracer | None = None,
         jitter_factory: Callable | None = None,
         ipc_open_cost: float | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self.engine = engine
         self.topology = topology
         self.config = config if config is not None else TransportConfig()
         self.tracer = tracer
+        self.obs = obs
         self.runtime = GPURuntime(
             engine,
             topology,
@@ -54,10 +57,29 @@ class UCXContext:
             sequential_initiation=self.config.sequential_initiation,
             alignment=self.config.planner_alignment,
             max_chunks=self.config.max_chunks,
+            obs=obs,
         )
-        self.pipeline = PipelineEngine(self.runtime)
+        self.pipeline = PipelineEngine(self.runtime, obs=obs)
         self.cuda_ipc = CudaIpcModule(self)
         self._endpoints: dict[tuple[int, int], Endpoint] = {}
+        if obs is not None:
+            self._register_collectors(obs)
+
+    def _register_collectors(self, obs: Observability) -> None:
+        """Wire every component's pull-stats into the metrics registry."""
+        m = obs.metrics
+        m.register_collector("engine", self.engine.stats_snapshot)
+        m.register_collector("fabric", self.runtime.fabric.stats_snapshot)
+        m.register_collector("gpu", self.runtime.stats_snapshot)
+        m.register_collector("pipeline", lambda: self.pipeline.stats_snapshot())
+        m.register_collector("cuda_ipc", lambda: self.cuda_ipc.stats_snapshot())
+        m.register_collector(
+            "planner",
+            lambda: {
+                "cache": self.planner.cache.stats(),
+                **obs.decisions.summary(),
+            },
+        )
 
     # ------------------------------------------------------------------
     def endpoint(self, src: int, dst: int) -> Endpoint:
@@ -87,6 +109,7 @@ class UCXContext:
             sequential_initiation=config.sequential_initiation,
             alignment=config.planner_alignment,
             max_chunks=config.max_chunks,
+            obs=self.obs,
         )
 
 

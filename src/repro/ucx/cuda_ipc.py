@@ -53,6 +53,10 @@ class CudaIpcModule:
     def __init__(self, context: "UCXContext") -> None:
         self.context = context
         self.puts_issued = 0
+        self.puts_completed = 0
+        self.bytes_put = 0
+        self.protocol_counts = {"eager": 0, "rndv": 0}
+        self.mode_counts = {"dynamic": 0, "static": 0, "single": 0}
 
     # ------------------------------------------------------------------
     def put(self, src: int, dst: int, nbytes: int, *, tag: str = "") -> Event:
@@ -103,6 +107,25 @@ class CudaIpcModule:
                 )
                 mode = "dynamic"
         yield ctx.pipeline.execute(plan, tag=tag or f"put{self.puts_issued}")
+        end = engine.now
+        self.puts_completed += 1
+        self.bytes_put += nbytes
+        self.protocol_counts[protocol] += 1
+        self.mode_counts[mode] += 1
+        obs = ctx.obs
+        if obs is not None:
+            obs.spans.record(
+                tag or f"put {src}->{dst}",
+                "put",
+                f"put:{src}->{dst}",
+                start,
+                end,
+                nbytes=nbytes,
+                protocol=protocol,
+                mode=mode,
+                paths=plan.num_active_paths,
+            )
+            obs.metrics.histogram("cuda_ipc.put_nbytes").observe(nbytes)
         return PutResult(
             src=src,
             dst=dst,
@@ -110,8 +133,19 @@ class CudaIpcModule:
             protocol=protocol,
             mode=mode,
             start=start,
-            end=engine.now,
+            end=end,
         )
+
+    # ------------------------------------------------------------------
+    def stats_snapshot(self) -> dict:
+        """Structured run statistics, pulled by a metrics collector."""
+        return {
+            "puts_issued": self.puts_issued,
+            "puts_completed": self.puts_completed,
+            "bytes_put": self.bytes_put,
+            "protocols": dict(self.protocol_counts),
+            "modes": dict(self.mode_counts),
+        }
 
     # ------------------------------------------------------------------
     def _paths(self, src: int, dst: int, *, single: bool = False):

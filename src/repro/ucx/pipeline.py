@@ -18,11 +18,15 @@ streams.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.planner import PathAssignment, TransferPlan
 from repro.gpu.runtime import GPURuntime
 from repro.gpu.stream import Stream
 from repro.sim.engine import Engine, Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs import Observability
 
 
 @dataclass(frozen=True)
@@ -43,11 +47,16 @@ class PathExecution:
 class PipelineEngine:
     """Executes transfer plans over the GPU runtime."""
 
-    def __init__(self, runtime: GPURuntime) -> None:
+    def __init__(
+        self, runtime: GPURuntime, *, obs: "Observability | None" = None
+    ) -> None:
         self.runtime = runtime
         self.engine: Engine = runtime.engine
         self._stream_pool: dict[tuple, Stream] = {}
         self.transfers_executed = 0
+        self.paths_executed = 0
+        self.chunks_executed = 0
+        self.obs = obs
 
     # ------------------------------------------------------------------
     def _stream(self, key: tuple, device: int) -> Stream:
@@ -89,13 +98,7 @@ class PipelineEngine:
             yield self.runtime.copy_on_hop_async(
                 a.path.hops[0], a.nbytes, stream, tag=f"{label}:direct"
             )
-            return PathExecution(
-                path_id=a.path.path_id,
-                nbytes=a.nbytes,
-                chunks=1,
-                start=start,
-                end=self.engine.now,
-            )
+            return self._path_done(plan, a, label, start, 1)
 
         # Staged path: three-step chunk loop over two streams.
         hop1, hop2 = a.path.hops
@@ -123,13 +126,50 @@ class PipelineEngine:
                 )
             )
         yield finals[-1]
+        return self._path_done(plan, a, label, start, len(chunks))
+
+    def _path_done(
+        self,
+        plan: TransferPlan,
+        a: PathAssignment,
+        label: str,
+        start: float,
+        chunks: int,
+    ) -> PathExecution:
+        """Close out one path: accounting plus an optional trace span."""
+        end = self.engine.now
+        self.paths_executed += 1
+        self.chunks_executed += chunks
+        obs = self.obs
+        if obs is not None:
+            obs.spans.record(
+                label,
+                "path",
+                f"pipe:{plan.src}->{plan.dst}:{a.path.path_id}",
+                start,
+                end,
+                nbytes=a.nbytes,
+                chunks=chunks,
+                theta=a.theta,
+            )
+            obs.metrics.histogram("pipeline.chunks_per_path").observe(chunks)
         return PathExecution(
             path_id=a.path.path_id,
             nbytes=a.nbytes,
-            chunks=len(chunks),
+            chunks=chunks,
             start=start,
-            end=self.engine.now,
+            end=end,
         )
+
+    # ------------------------------------------------------------------
+    def stats_snapshot(self) -> dict:
+        """Structured run statistics, pulled by a metrics collector."""
+        return {
+            "transfers_executed": self.transfers_executed,
+            "paths_executed": self.paths_executed,
+            "chunks_executed": self.chunks_executed,
+            "stream_pool_size": len(self._stream_pool),
+        }
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -52,7 +52,20 @@ class LRUCache(Generic[K, V]):
         return len(self._data)
 
     def clear(self) -> None:
+        """Drop entries *and* statistics.
+
+        A cleared cache is a fresh cache: callers that reuse a planner
+        across sweeps (the overhead bench, repeated ``plan()`` loops) read
+        hit rates after ``clear()`` and must not see stats from before it.
+        """
         self._data.clear()
+        self.reset_stats()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/eviction counters, keeping entries."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
     @property
     def hit_rate(self) -> float:

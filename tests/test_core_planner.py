@@ -8,7 +8,7 @@ from repro.core.params import ParameterStore, PathParams
 from repro.core.planner import PathPlanner, plan_transfer
 from repro.topology import systems
 from repro.topology.routing import enumerate_paths
-from repro.units import KiB, MiB, gbps, us
+from repro.units import KiB, MiB
 
 
 @pytest.fixture(scope="module")

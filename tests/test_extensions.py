@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.bench.baselines import direct_config, dynamic_config
+from repro.bench.baselines import dynamic_config
 from repro.bench.collectives import COLLECTIVES
 from repro.bench.env import BenchEnvironment
 from repro.bench.omb import osu_bw, osu_collective_latency

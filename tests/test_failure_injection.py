@@ -6,7 +6,6 @@ its advantage when re-planned with refreshed calibration.
 """
 
 import numpy as np
-import pytest
 
 from repro.bench.baselines import direct_config, dynamic_config
 from repro.bench.calibrate import calibrate

@@ -19,7 +19,6 @@ from hypothesis import strategies as st
 from repro.core.hockney import path_time
 from repro.core.params import ParameterStore
 from repro.core.pipeline_model import pipelined_time
-from repro.core.planner import PathPlanner
 from repro.gpu.runtime import GPURuntime
 from repro.sim import Engine
 from repro.topology import systems

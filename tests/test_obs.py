@@ -1,0 +1,273 @@
+"""Tests for the observability layer: metrics, spans, decisions, exporters."""
+
+import json
+
+import pytest
+
+from repro.bench.baselines import dynamic_config
+from repro.bench.omb import osu_bw
+from repro.bench.runner import dump_artifacts, get_setup
+from repro.obs import (
+    MetricsRegistry,
+    Observability,
+    SpanLog,
+    chrome_trace,
+    dump_chrome_trace,
+)
+from repro.obs.metrics import NULL_INSTRUMENT
+from repro.core.planner import PathPlanner
+from repro.sim.trace import Tracer
+from repro.units import MiB
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_roundtrip(self):
+        m = MetricsRegistry()
+        m.counter("c").inc()
+        m.counter("c").inc(2)
+        m.gauge("g").set(7)
+        snap = m.snapshot()
+        assert snap["counters"]["c"] == 3
+        assert snap["gauges"]["g"] == 7
+
+    def test_instruments_are_interned(self):
+        m = MetricsRegistry()
+        assert m.counter("x") is m.counter("x")
+        assert m.timer("t") is m.timer("t")
+
+    def test_timer_observe_and_context(self):
+        m = MetricsRegistry()
+        t = m.timer("t")
+        t.observe(0.5)
+        with t.time():
+            pass
+        snap = t.snapshot()
+        assert snap["count"] == 2
+        assert snap["max_s"] >= 0.5
+
+    def test_histogram_buckets(self):
+        m = MetricsRegistry()
+        h = m.histogram("sizes")
+        for v in (1, 2, 3, 1024):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 4
+        assert snap["min"] == 1 and snap["max"] == 1024
+        assert snap["buckets"]["2^10"] == 1
+
+    def test_disabled_registry_is_inert(self):
+        m = MetricsRegistry(enabled=False)
+        c = m.counter("c")
+        assert c is NULL_INSTRUMENT
+        c.inc()
+        m.register_collector("x", lambda: {"v": 1})
+        assert m.snapshot() == {}
+
+    def test_collectors_pull_at_snapshot_time(self):
+        m = MetricsRegistry()
+        state = {"v": 1}
+        m.register_collector("comp", lambda: dict(state))
+        state["v"] = 42
+        assert m.snapshot()["comp"]["v"] == 42
+
+    def test_to_json(self):
+        m = MetricsRegistry()
+        m.counter("c").inc()
+        assert json.loads(m.to_json())["counters"]["c"] == 1
+
+
+class TestSpanLog:
+    def test_record_and_query(self):
+        s = SpanLog()
+        s.record("a", "put", "t0", 0.0, 1.0, nbytes=10)
+        s.record("b", "path", "t1", 0.5, 2.0)
+        assert len(s) == 2
+        assert s.for_cat("put")[0].name == "a"
+        assert s.for_track("t1")[0].duration == pytest.approx(1.5)
+
+    def test_disabled_records_nothing(self):
+        s = SpanLog(enabled=False)
+        s.record("a", "put", "t", 0, 1)
+        assert len(s) == 0
+
+
+class TestChromeTrace:
+    def make_sources(self):
+        tracer = Tracer()
+        tracer.record("nvl:0->1", "x/direct", 0.0, 2e-3, 1024)
+        tracer.record("nvl:0->2", "x/gpu:2:h1:0", 0.0, 1e-3, 512)
+        spans = SpanLog()
+        spans.record("put 0->1", "put", "put:0->1", 0.0, 2e-3, nbytes=1536)
+        return tracer, spans
+
+    def test_events_have_required_fields(self):
+        tracer, spans = self.make_sources()
+        trace = chrome_trace(tracer, spans)
+        events = trace["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == 3
+        for e in complete:
+            assert {"name", "cat", "pid", "tid", "ts", "dur"} <= set(e)
+        # one thread-name metadata row per distinct channel/track
+        names = [e for e in events if e["ph"] == "M" and e["name"] == "thread_name"]
+        assert {m["args"]["name"] for m in names} == {
+            "nvl:0->1",
+            "nvl:0->2",
+            "put:0->1",
+        }
+
+    def test_sim_seconds_become_microseconds(self):
+        tracer, _ = self.make_sources()
+        events = chrome_trace(tracer)["traceEvents"]
+        e = next(ev for ev in events if ev["ph"] == "X")
+        assert e["ts"] == pytest.approx(0.0)
+        assert e["dur"] == pytest.approx(2e3)  # 2 ms -> 2000 us
+
+    def test_dump_is_loadable_json(self, tmp_path):
+        tracer, spans = self.make_sources()
+        path = dump_chrome_trace(tmp_path / "t.json", tracer, spans)
+        loaded = json.loads(path.read_text())
+        assert isinstance(loaded["traceEvents"], list)
+        assert loaded["traceEvents"]
+
+    def test_empty_sources(self):
+        assert chrome_trace()["traceEvents"] == []
+
+
+class TestPlannerDecisionLog:
+    def test_decisions_recorded_with_cache_flags(self):
+        setup = get_setup("beluga")
+        obs = Observability()
+        planner = PathPlanner(setup.topology, setup.store, obs=obs)
+        planner.plan(0, 1, 64 * MiB)
+        planner.plan(0, 1, 64 * MiB)
+        assert len(obs.decisions) == 2
+        cold, hot = obs.decisions.records
+        assert not cold.cache_hit and hot.cache_hit
+        assert cold.nbytes == 64 * MiB
+        assert cold.path_ids == hot.path_ids
+        assert sum(cold.thetas) == pytest.approx(1.0)
+        assert obs.decisions.cache_hit_rate == pytest.approx(0.5)
+        # metrics mirror the log
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters["planner.plans"] == 2
+        assert counters["planner.cache_hits"] == 1
+        assert counters["planner.plans_computed"] == 1
+
+    def test_jsonl_roundtrip(self):
+        setup = get_setup("beluga")
+        obs = Observability()
+        planner = PathPlanner(setup.topology, setup.store, obs=obs)
+        planner.plan(0, 1, 8 * MiB)
+        lines = obs.decisions.to_jsonl().splitlines()
+        rec = json.loads(lines[0])
+        assert rec["src"] == 0 and rec["dst"] == 1
+        assert rec["wall_time_s"] >= 0
+
+    def test_planner_without_obs_logs_nothing(self):
+        setup = get_setup("beluga")
+        planner = PathPlanner(setup.topology, setup.store)
+        plan = planner.plan(0, 1, 8 * MiB)
+        assert plan.num_active_paths >= 1
+        assert planner.obs is None
+
+
+class TestInstrumentedRun:
+    """Acceptance criteria: snapshot contents after an osu_bw run."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        setup = get_setup("beluga")
+        env = setup.env(dynamic_config(), observe=True)
+        result = osu_bw(env, 64 * MiB, window=2, iterations=2)
+        return env.last_context, result
+
+    def test_snapshot_core_counters(self, run):
+        ctx, result = run
+        snap = ctx.obs.metrics.snapshot()
+        assert snap["planner"]["cache_hits"] > 0
+        assert snap["fabric"]["flows_admitted"] > 0
+        assert snap["counters"]["planner.cache_hits"] > 0
+        assert snap["cuda_ipc"]["bytes_put"] >= result.bytes_moved
+        assert snap["engine"]["events_processed"] > 0
+        assert snap["mpi"]["messages_matched"] > 0
+
+    def test_per_channel_bytes_match_tracer(self, run):
+        ctx, _ = run
+        channels = ctx.obs.metrics.snapshot()["fabric"]["channels"]
+        for name, ch in channels.items():
+            assert ch["completed_bytes"] == pytest.approx(
+                ctx.tracer.total_bytes(name)
+            ), name
+        total = sum(ch["completed_bytes"] for ch in channels.values())
+        assert total == pytest.approx(ctx.tracer.total_bytes())
+
+    def test_spans_cover_puts_and_paths(self, run):
+        ctx, _ = run
+        assert ctx.obs.spans.for_cat("put")
+        assert ctx.obs.spans.for_cat("path")
+        put = ctx.obs.spans.for_cat("put")[0]
+        assert put.duration > 0
+        assert put.args["nbytes"] > 0
+
+    def test_chrome_trace_exports_run(self, run):
+        ctx, _ = run
+        events = chrome_trace(ctx.tracer, ctx.obs.spans)["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert complete
+        assert all(e["dur"] >= 0 and e["ts"] >= 0 for e in complete)
+
+    def test_dump_artifacts(self, run, tmp_path):
+        ctx, _ = run
+        written = dump_artifacts(tmp_path / "osu_bw", ctx)
+        names = {p.name for p in written}
+        assert names == {
+            "osu_bw.metrics.json",
+            "osu_bw.trace.json",
+            "osu_bw.decisions.jsonl",
+        }
+        for p in written:
+            assert p.exists() and p.stat().st_size > 0
+        metrics = json.loads((tmp_path / "osu_bw.metrics.json").read_text())
+        assert metrics["fabric"]["flows_admitted"] > 0
+
+    def test_uninstrumented_env_has_no_obs(self):
+        setup = get_setup("beluga")
+        env = setup.env(dynamic_config())
+        osu_bw(env, 4 * MiB, window=1, iterations=1)
+        ctx = env.last_context
+        assert ctx.obs is None
+        assert ctx.planner.obs is None
+
+
+class TestCliSubcommands:
+    def test_stats_command_prints_json(self, capsys):
+        from repro.cli import main
+
+        main(["stats", "--system", "beluga", "--quick", "--size", "16M"])
+        out = capsys.readouterr().out
+        snap = json.loads(out)
+        assert snap["planner"]["cache_hits"] > 0
+        assert snap["run"]["system"] == "beluga"
+
+    def test_trace_command_writes_valid_trace(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_file = tmp_path / "trace.json"
+        main(
+            [
+                "trace",
+                "--system",
+                "beluga",
+                "--quick",
+                "--size",
+                "16M",
+                "-o",
+                str(out_file),
+            ]
+        )
+        trace = json.loads(out_file.read_text())
+        complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert complete
+        for e in complete:
+            assert {"pid", "tid", "ts", "dur"} <= set(e)

@@ -14,7 +14,7 @@ from scipy.optimize import linprog
 
 from repro.core.optimizer import optimal_fractions
 from repro.core.params import PathParams
-from repro.units import MiB, gbps, us
+from repro.units import gbps, us
 
 
 def lp_min_max(omegas, deltas, nbytes):

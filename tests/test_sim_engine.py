@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import AllOf, AnyOf, Engine, SimError
+from repro.sim import Engine, SimError
 
 
 class TestEventBasics:

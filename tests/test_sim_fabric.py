@@ -141,9 +141,68 @@ class TestDynamics:
         ch = fab.channel("a")
         assert ch.total_bytes == pytest.approx(4 * MiB)
         assert ch.total_flows == 1
+        assert ch.completed_bytes == pytest.approx(4 * MiB)
+        assert ch.completed_flows == 1
+        assert fab.flows_admitted == 1
+        assert fab.flows_completed == 1
         assert tracer.records[0].tag == "t0"
         fab.reset_stats()
         assert fab.channel("a").total_bytes == 0
+        assert fab.channel("a").completed_bytes == 0
+        assert fab.flows_admitted == 0
+
+    def test_busy_time_skips_rate_zero_channels(self):
+        """Regression: ``_sync`` charged ``busy_time`` to every channel
+        crossed by *any* active flow, including flows frozen at rate 0 by
+        progressive filling — a channel moving no bytes is not busy."""
+        from repro.sim.engine import Event
+        from repro.sim.fabric import FabricFlow
+
+        eng = Engine()
+        fab = simple_fabric(eng, a=gbps(1), b=gbps(1))
+
+        def flow(fid, channels, rate):
+            return FabricFlow(
+                flow_id=fid,
+                channels=channels,
+                remaining=float(MiB),
+                total_demand=float(MiB),
+                nbytes=MiB,
+                event=Event(eng),
+                tag="",
+                start_time=0.0,
+                rate=rate,
+                admitted=True,
+            )
+
+        live = flow(0, ("a",), rate=gbps(1))
+        frozen = flow(1, ("b",), rate=0.0)  # progressive-filling freeze
+        fab._flows = {0: live, 1: frozen}
+        eng.now = 0.25  # advance the clock a quarter second
+        fab._sync()
+        assert fab.channel("a").busy_time == pytest.approx(0.25)
+        assert fab.channel("a").total_bytes == pytest.approx(0.25 * gbps(1))
+        assert fab.channel("b").busy_time == 0.0
+        assert fab.channel("b").total_bytes == 0.0
+
+    def test_completed_bytes_match_tracer_totals(self):
+        """Per-channel completion accounting uses the same primary-channel
+        attribution as the tracer, so the two byte counts agree exactly."""
+        eng = Engine()
+        tracer = Tracer()
+        fab = Fabric(eng, tracer=tracer)
+        fab.add_channel("a", alpha=0.0, beta=gbps(2))
+        fab.add_channel("b", alpha=0.0, beta=gbps(1))
+        done = [
+            fab.copy(("a", "b"), 4 * MiB, tag="t0"),  # primary: a
+            fab.copy("b", 2 * MiB, tag="t1"),
+            fab.copy("a", MiB, tag="t2"),
+        ]
+        eng.run(until=eng.all_of(done))
+        for name in ("a", "b"):
+            assert fab.channel(name).completed_bytes == pytest.approx(
+                tracer.total_bytes(name)
+            )
 
 
 class TestFabricProperties:

@@ -47,6 +47,23 @@ class TestTracer:
         assert peak == 2  # h1:1 overlaps h2:0 between 2.5 and 4.0
         assert profile[-1][1] == 0  # everything drains
 
+    def test_concurrency_profile_zero_duration_never_negative(self):
+        """Regression: a zero-duration record's -1 edge sorted before its
+        +1 edge, so the running count transiently went negative."""
+        t = Tracer()
+        t.record("l", "instant", 1.0, 1.0, 0)  # zero-byte, zero-latency
+        profile = t.concurrency_profile()
+        assert all(active >= 0 for _, active in profile)
+        assert profile == [(1.0, 0)]
+
+    def test_concurrency_profile_aggregates_same_timestamp(self):
+        """Back-to-back records (one ends exactly when the next starts)
+        must not dip: deltas at one timestamp net out before accumulating."""
+        t = Tracer()
+        t.record("l", "a", 0.0, 1.0, 10)
+        t.record("l", "b", 1.0, 2.0, 10)
+        assert t.concurrency_profile() == [(0.0, 1), (1.0, 1), (2.0, 0)]
+
     def test_disabled_tracer_records_nothing(self):
         t = Tracer(enabled=False)
         t.record("l", "t", 0, 1, 10)

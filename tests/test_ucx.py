@@ -3,13 +3,12 @@
 import pytest
 
 from repro.core.params import ParameterStore
-from repro.core.planner import PathPlanner
 from repro.sim import Engine, Tracer
 from repro.topology import systems
 from repro.ucx import ModelRegistry, TransportConfig, UCXContext
 from repro.ucx.pipeline import PipelineEngine
 from repro.ucx.tuning import StaticShare
-from repro.units import KiB, MiB, gbps, us
+from repro.units import KiB, MiB, gbps
 
 
 def make_ctx(topology=None, **kw):
@@ -161,9 +160,17 @@ class TestPipelineEngine:
         eng, ctx = make_ctx()
         plan = ctx.planner.plan(0, 1, 8 * MiB, include_host=False)
         eng.run(until=ctx.pipeline.execute(plan))
-        pool_size = len(ctx.pipeline._stream_pool)
+        first_pool = dict(ctx.pipeline._stream_pool)
+        assert first_pool  # the run actually pooled streams
+        created = ctx.runtime._stream_count
         eng.run(until=ctx.pipeline.execute(plan))
-        assert len(ctx.pipeline._stream_pool) == pool_size
+        second_pool = ctx.pipeline._stream_pool
+        # Back-to-back execute() calls reuse the *same* Stream objects —
+        # identical keys mapped to identical instances, no new streams made.
+        assert set(second_pool) == set(first_pool)
+        for key, stream in first_pool.items():
+            assert second_pool[key] is stream
+        assert ctx.runtime._stream_count == created
 
     def test_empty_plan(self):
         eng, ctx = make_ctx()

@@ -108,6 +108,30 @@ class TestLRUCache:
         with pytest.raises(ValueError):
             LRUCache(0)
 
+    def test_clear_resets_statistics(self):
+        """Regression: clear() left hits/misses/evictions stale, so
+        hit-rate assertions on a reused (cleared) cache read the previous
+        sweep's numbers."""
+        c = LRUCache(capacity=1)
+        c.put("a", 1)
+        c.put("b", 2)  # evicts a
+        c.get("b")
+        c.get("zzz")
+        assert (c.hits, c.misses, c.evictions) == (1, 1, 1)
+        c.clear()
+        assert (c.hits, c.misses, c.evictions) == (0, 0, 0)
+        assert c.hit_rate == 0.0
+        assert len(c) == 0
+
+    def test_reset_stats_keeps_entries(self):
+        c = LRUCache(capacity=4)
+        c.put("k", "v")
+        c.get("k")
+        c.reset_stats()
+        assert c.hits == 0 and c.misses == 0
+        assert c.get("k") == "v"  # entry survived; this is a fresh hit
+        assert c.hits == 1
+
     def test_stats(self):
         c = LRUCache(4)
         c.put("k", "v")
