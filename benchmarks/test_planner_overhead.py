@@ -50,6 +50,48 @@ def test_planner_cached_plan(benchmark, beluga_setup):
     assert ratio < 0.05  # well under the 0.1% claim's neighbourhood
 
 
+def test_planner_cached_plan_with_feedback_path(benchmark, beluga_setup):
+    """The closed loop must not erode the <0.1 % overhead claim.
+
+    A planner with the full observability bundle attached (decision log,
+    metrics, and a wired drift controller downstream) still serves cached
+    lookups within the same budget as the bare planner.
+    """
+    from repro.obs import DriftController, Observability
+    from repro.sim.trace import Tracer
+
+    obs = Observability(autotune=True)
+    planner = PathPlanner(beluga_setup.topology, beluga_setup.store, obs=obs)
+    obs.drift = DriftController(
+        planner, Tracer(), tracker=obs.errors, metrics=obs.metrics
+    )
+    planner.plan(0, 1, 64 * MiB)
+
+    plan = benchmark(lambda: planner.plan(0, 1, 64 * MiB))
+    assert plan.from_cache
+
+    mean_lookup = benchmark.stats.stats.mean
+    ratio = mean_lookup / plan.predicted_time
+    assert ratio < 0.05
+
+
+def test_feedback_observe_cost(benchmark, beluga_setup):
+    """One closed-loop feedback sample on a healthy stream stays cheap."""
+    from repro.obs import DriftController, Observability
+    from repro.sim.trace import Tracer
+
+    obs = Observability(autotune=True)
+    planner = PathPlanner(beluga_setup.topology, beluga_setup.store, obs=obs)
+    controller = DriftController(
+        planner, Tracer(), tracker=obs.errors, metrics=obs.metrics
+    )
+    plan = planner.plan(0, 1, 64 * MiB)
+
+    benchmark(lambda: controller.observe(plan, plan.predicted_time * 1.001))
+    assert not controller.events  # healthy: no refits triggered
+    assert benchmark.stats.stats.mean < plan.predicted_time * 0.05
+
+
 def test_planner_scales_linearly_in_paths(benchmark, beluga_setup):
     """O(paths): planning with 4 paths costs < 4x planning with 2."""
     planner = PathPlanner(beluga_setup.topology, beluga_setup.store)

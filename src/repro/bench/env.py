@@ -85,6 +85,9 @@ class BenchEnvironment:
     #: span log, planner decision log) to every fresh context.  Implies
     #: tracing, so the Chrome-trace export covers fabric copies too.
     observe: bool = False
+    #: Enable the closed loop (drift detection + online recalibration) on
+    #: top of ``observe``; has no effect unless ``observe`` is set too.
+    autotune: bool = False
 
     def with_config(self, config: TransportConfig) -> "BenchEnvironment":
         return BenchEnvironment(
@@ -94,6 +97,7 @@ class BenchEnvironment:
             jitter_factory=self.jitter_factory,
             trace=self.trace,
             observe=self.observe,
+            autotune=self.autotune,
         )
 
     def fresh(self, size: int | None = None):
@@ -105,7 +109,7 @@ class BenchEnvironment:
         """
         engine = Engine()
         tracer = Tracer() if (self.trace or self.observe) else None
-        obs = Observability() if self.observe else None
+        obs = Observability(autotune=self.autotune) if self.observe else None
         context = UCXContext(
             engine,
             self.topology,

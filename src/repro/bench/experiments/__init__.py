@@ -7,6 +7,7 @@ FIG6      bidirectional BW grid (Fig. 6)
 FIG7      collective speedups (Fig. 7)
 TAB-ERR   prediction-error aggregation (§5 headline numbers)
 OBS1–5    the five §5.2 observations as quantitative checks
+DRIFT     closed-loop recovery from injected link degradation
 ========  =====================================================
 """
 
@@ -14,6 +15,10 @@ from repro.bench.experiments.fig4_theta import run_fig4
 from repro.bench.experiments.fig5_bw import run_fig5
 from repro.bench.experiments.fig6_bibw import run_fig6
 from repro.bench.experiments.fig7_collectives import run_fig7
+from repro.bench.experiments.drift_recovery import (
+    DriftRecoveryResult,
+    run_drift_recovery,
+)
 from repro.bench.experiments.error_analysis import (
     headline_speedups,
     prediction_error_table,
@@ -28,4 +33,6 @@ __all__ = [
     "prediction_error_table",
     "headline_speedups",
     "check_observations",
+    "run_drift_recovery",
+    "DriftRecoveryResult",
 ]

@@ -54,7 +54,12 @@ class SystemSetup:
     jitter_sigma: float = 0.0  # systematic-only by default: deterministic
 
     def env(
-        self, config, *, trace: bool = False, observe: bool = False
+        self,
+        config,
+        *,
+        trace: bool = False,
+        observe: bool = False,
+        autotune: bool = False,
     ) -> BenchEnvironment:
         return BenchEnvironment(
             topology=self.topology,
@@ -63,6 +68,7 @@ class SystemSetup:
             jitter_factory=default_jitter_factory(self.jitter_seed, self.jitter_sigma),
             trace=trace,
             observe=observe,
+            autotune=autotune,
         )
 
 

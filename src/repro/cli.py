@@ -13,6 +13,8 @@ Usage::
     python -m repro.cli all --quick -o EXPERIMENTS.md
     python -m repro.cli stats --size 64M     # metrics snapshot of one BW run
     python -m repro.cli trace -o trace.json  # Chrome-trace timeline export
+    python -m repro.cli drift                # closed- vs open-loop recovery
+    python -m repro.cli critical-path        # per-transfer bottleneck report
 """
 
 from __future__ import annotations
@@ -35,9 +37,11 @@ from repro.bench.experiments import (
 from repro.bench.baselines import dynamic_config
 from repro.bench.experiments.concurrent_pairs import run_concurrent_pairs
 from repro.bench.experiments.fig7_collectives import collective_sizes
+from repro.bench.experiments.drift_recovery import run_drift_recovery
 from repro.bench.omb import osu_bw
-from repro.bench.runner import default_sizes, get_setup, quick_sizes
-from repro.obs import chrome_trace
+from repro.bench.runner import default_sizes, dump_artifacts, get_setup, quick_sizes
+from repro.obs import CriticalPathAnalyzer, chrome_trace
+from repro.obs.report import critical_path_report, drift_report
 from repro.units import MiB, parse_size
 
 
@@ -168,21 +172,45 @@ def cmd_all(args):
         print(text)
 
 
-def _instrumented_bw_run(args, system: str):
-    """One FIG5-style instrumented osu_bw run; returns (env, result)."""
-    setup = get_setup(system)
-    env = setup.env(dynamic_config(), observe=True)
+def _nbytes(args, default: int = 64 * MiB) -> int:
     try:
-        nbytes = parse_size(args.size) if args.size else 64 * MiB
+        return parse_size(args.size) if args.size else default
     except ValueError:
         raise SystemExit(
             f"error: invalid --size {args.size!r} (expected e.g. 64M, 4K, 1G)"
         ) from None
+
+
+def _gpu_pair(args, setup) -> tuple[int, int]:
+    """Validate the --src/--dst pair against the system's GPU count."""
+    src = 0 if args.src is None else args.src
+    dst = 1 if args.dst is None else args.dst
+    n = setup.topology.num_gpus
+    for flag, value in (("--src", src), ("--dst", dst)):
+        if not 0 <= value < n:
+            raise SystemExit(
+                f"error: invalid {flag} {value} "
+                f"(system {setup.name!r} has GPUs 0..{n - 1})"
+            )
+    if src == dst:
+        raise SystemExit(
+            f"error: --src and --dst must name different GPUs (both {src})"
+        )
+    return src, dst
+
+
+def _instrumented_bw_run(args, system: str):
+    """One FIG5-style instrumented osu_bw run; returns (env, result)."""
+    setup = get_setup(system)
+    src, dst = _gpu_pair(args, setup)
+    env = setup.env(dynamic_config(), observe=True)
     result = osu_bw(
         env,
-        nbytes,
+        _nbytes(args),
         window=1 if args.quick else 16,
         iterations=2 if args.quick else 4,
+        src=src,
+        dst=dst,
     )
     return env, result
 
@@ -207,6 +235,10 @@ def cmd_stats(args):
             "bandwidth_gbps": result.bandwidth / 1e9,
         }
         snaps[system] = snap
+        if args.dump:
+            prefix = args.dump if len(_systems(args)) == 1 else f"{args.dump}.{system}"
+            for path in dump_artifacts(prefix, ctx):
+                print(f"wrote {path}", file=sys.stderr)
     doc = next(iter(snaps.values())) if len(snaps) == 1 else snaps
     text = json.dumps(doc, indent=2, sort_keys=True)
     if args.output:
@@ -242,10 +274,56 @@ def cmd_trace(args):
     )
 
 
+def cmd_drift(args):
+    """Closed- vs open-loop prediction error under injected link drift."""
+    system = _systems(args)[0]
+    setup = get_setup(system)
+    src, dst = _gpu_pair(args, setup)
+    result = run_drift_recovery(
+        system,
+        nbytes=_nbytes(args),
+        total_puts=40 if args.quick else 80,
+        warmup_puts=10 if args.quick else 20,
+        ramp_puts=5 if args.quick else 10,
+        src=src,
+        dst=dst,
+        keep_contexts=True,
+    )
+    closed_ctx, open_ctx = result._contexts
+    print(
+        f"# drift scenario: {system} GPU{src}->GPU{dst} "
+        f"n={result.nbytes} channel={result.channel} "
+        f"beta degraded {result.degrade:.0%} after put {result.warmup_puts}"
+    )
+    print(
+        drift_report(
+            closed_ctx.obs.errors,
+            open_ctx.obs.errors,
+            controller=closed_ctx.obs.drift,
+            recovery_window=result.recovery_window,
+        )
+    )
+
+
+def cmd_critical_path(args):
+    """Per-transfer bottleneck/slack attribution of one instrumented run."""
+    system = _systems(args)[0]
+    env, result = _instrumented_bw_run(args, system)
+    ctx = env.last_context
+    analyzer = CriticalPathAnalyzer(ctx.obs.spans, ctx.tracer)
+    print(
+        f"# critical path: {system} n={result.nbytes} "
+        f"bw={result.bandwidth / 1e9:.1f}GB/s"
+    )
+    print(critical_path_report(analyzer))
+
+
 COMMANDS = {
     "calibrate": cmd_calibrate,
     "stats": cmd_stats,
     "trace": cmd_trace,
+    "drift": cmd_drift,
+    "critical-path": cmd_critical_path,
     "conc": cmd_conc,
     "fig4": cmd_fig4,
     "fig5": cmd_fig5,
@@ -275,7 +353,19 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--size",
-        help="message size for stats/trace runs, e.g. 64M (default: 64M)",
+        help="message size for stats/trace/drift runs, e.g. 64M (default: 64M)",
+    )
+    parser.add_argument(
+        "--src", type=int, help="source GPU id for stats/trace/drift (default: 0)"
+    )
+    parser.add_argument(
+        "--dst", type=int, help="destination GPU id for stats/trace/drift (default: 1)"
+    )
+    parser.add_argument(
+        "--dump",
+        metavar="PREFIX",
+        help="stats: also write PREFIX.metrics.json / .trace.json / "
+        ".decisions.jsonl artifacts",
     )
     parser.add_argument(
         "-o", "--output", help="output file (all: EXPERIMENTS.md; stats/trace: JSON)"

@@ -346,6 +346,31 @@ class PathPlanner:
         )
 
     # ------------------------------------------------------------------
+    def refresh_params(self, hops: Iterable[tuple] | None = None) -> int:
+        """Pick up in-place parameter-store changes (online recalibration).
+
+        Cached plans embed resolved :class:`PathParams`, so a store update
+        alone is invisible until the affected entries are dropped.  With
+        ``hops`` given, only plans whose assignments cross one of those
+        hops are invalidated (the drift controller refits per hop); with
+        ``None`` everything goes.  The φ memo is cleared either way —
+        φ derives from (α̂, β̂, ε̂).  Returns the number of plans dropped.
+        """
+        self._phi_cache.clear()
+        if hops is None:
+            return self.cache.invalidate(lambda key, plan: True)
+        hopset = {tuple(h) for h in hops}
+        if not hopset:
+            return 0
+        return self.cache.invalidate(
+            lambda key, plan: any(
+                tuple(h) in hopset
+                for a in plan.assignments
+                for h in a.path.hops
+            )
+        )
+
+    # ------------------------------------------------------------------
     def predict_time(self, src: int, dst: int, nbytes: int, **kwargs) -> float:
         """Model-predicted completion time of the optimal configuration."""
         return self.plan(src, dst, nbytes, **kwargs).predicted_time

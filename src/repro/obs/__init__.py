@@ -5,14 +5,35 @@ One :class:`Observability` bundle per instrumented run, threaded through
 and cuda_ipc module.  All instrumentation is optional: components take
 ``obs=None`` and guard every touch point, so the uninstrumented hot path
 costs nothing (verified by ``benchmarks/test_planner_overhead.py``).
+
+On top of the passive layer sits the closed loop (``repro.obs.drift``):
+with ``autotune=True`` the context attaches a :class:`DriftController`
+that joins predictions with observed completion times, detects model
+drift, and recalibrates (α̂, β̂) online.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.obs.chrome_trace import chrome_trace, dump_chrome_trace, trace_events
+from repro.obs.critical_path import (
+    CriticalPathAnalyzer,
+    PathContribution,
+    TransferBreakdown,
+)
 from repro.obs.decision_log import PlannerDecision, PlannerDecisionLog
+from repro.obs.drift import (
+    DriftController,
+    DriftEvent,
+    ErrorRecord,
+    OnlineRecalibrator,
+    PageHinkley,
+    PredictionErrorTracker,
+    RefitResult,
+    size_bucket,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -22,18 +43,42 @@ from repro.obs.metrics import (
 )
 from repro.obs.spans import Span, SpanLog
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.planner import TransferPlan
+
 
 @dataclass
 class Observability:
-    """The per-run bundle: metrics + spans + planner decisions."""
+    """The per-run bundle: metrics + spans + planner decisions + errors."""
 
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     spans: SpanLog = field(default_factory=SpanLog)
     decisions: PlannerDecisionLog = field(default_factory=PlannerDecisionLog)
+    errors: PredictionErrorTracker = field(
+        default_factory=PredictionErrorTracker
+    )
+    #: Request the closed loop: the context wires a DriftController here
+    #: when a tracer is available.  Off by default — pure telemetry.
+    autotune: bool = False
+    drift: DriftController | None = None
 
     @classmethod
     def create(cls) -> "Observability":
         return cls()
+
+    def feedback(
+        self, plan: "TransferPlan", observed: float, *, now: float = 0.0
+    ) -> DriftEvent | None:
+        """Report one executed plan's observed completion time.
+
+        Routed through the drift controller when autotuning is wired
+        (which shares :attr:`errors`, so the tracker sees every sample
+        either way); otherwise just recorded.
+        """
+        if self.drift is not None:
+            return self.drift.observe(plan, observed, now=now)
+        self.errors.record(plan, observed, now=now)
+        return None
 
 
 __all__ = [
@@ -47,6 +92,17 @@ __all__ = [
     "Span",
     "PlannerDecision",
     "PlannerDecisionLog",
+    "PredictionErrorTracker",
+    "ErrorRecord",
+    "size_bucket",
+    "PageHinkley",
+    "OnlineRecalibrator",
+    "RefitResult",
+    "DriftController",
+    "DriftEvent",
+    "CriticalPathAnalyzer",
+    "TransferBreakdown",
+    "PathContribution",
     "chrome_trace",
     "trace_events",
     "dump_chrome_trace",

@@ -50,17 +50,26 @@ def _thread_meta(pid: int, tid: int, name: str) -> dict:
 def trace_events(
     tracer: "Tracer | None" = None, spans: "SpanLog | None" = None
 ) -> list[dict]:
-    """Flat ``traceEvents`` list for the given sources."""
-    events: list[dict] = []
+    """Flat ``traceEvents`` list for the given sources.
+
+    Metadata ("M") events lead, then every complete ("X") event sorted by
+    timestamp across both sources.  Tracer records arrive in *completion*
+    order and spans per layer, so without the sort a timeline viewer (or
+    a streaming consumer) would see time move backwards.  tids are
+    assigned per row name in first-appearance order of the underlying
+    logs, so the mapping is stable for a given run.
+    """
+    meta: list[dict] = []
+    complete: list[dict] = []
     if tracer is not None and tracer.records:
-        events.append(_meta(FABRIC_PID, "fabric (channels)"))
+        meta.append(_meta(FABRIC_PID, "fabric (channels)"))
         tids: dict[str, int] = {}
         for rec in tracer.records:
             tid = tids.get(rec.channel)
             if tid is None:
                 tid = tids[rec.channel] = len(tids)
-                events.append(_thread_meta(FABRIC_PID, tid, rec.channel))
-            events.append(
+                meta.append(_thread_meta(FABRIC_PID, tid, rec.channel))
+            complete.append(
                 {
                     "name": rec.tag or rec.channel,
                     "cat": "fabric",
@@ -73,14 +82,14 @@ def trace_events(
                 }
             )
     if spans is not None and spans.spans:
-        events.append(_meta(TRANSPORT_PID, "transport (puts / paths / plans)"))
+        meta.append(_meta(TRANSPORT_PID, "transport (puts / paths / plans)"))
         tids = {}
         for span in spans.spans:
             tid = tids.get(span.track)
             if tid is None:
                 tid = tids[span.track] = len(tids)
-                events.append(_thread_meta(TRANSPORT_PID, tid, span.track))
-            events.append(
+                meta.append(_thread_meta(TRANSPORT_PID, tid, span.track))
+            complete.append(
                 {
                     "name": span.name,
                     "cat": span.cat,
@@ -92,7 +101,8 @@ def trace_events(
                     "args": dict(span.args),
                 }
             )
-    return events
+    complete.sort(key=lambda e: (e["ts"], e["pid"], e["tid"]))
+    return meta + complete
 
 
 def chrome_trace(

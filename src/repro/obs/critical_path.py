@@ -1,0 +1,177 @@
+"""Critical-path attribution for multi-path transfers (Theorem 1, live).
+
+The equal-time theorem says the optimal split finishes every path at the
+same instant — any slack on a path means bytes should have moved to it.
+This analyzer makes that directly observable: it joins each ``put`` span
+with its per-path pipeline spans (same tag prefix, contained interval)
+and reports, per transfer, which path was the bottleneck and how much
+slack every other path had.  On the noise-free simulator with a
+well-calibrated model, per-path slack of a dynamic plan is ≈ 0; a path
+with persistent slack is the planner's model being wrong about it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.spans import SpanLog
+    from repro.sim.trace import Tracer
+
+#: Joining tolerance: path spans live strictly inside their put span, but
+#: float arithmetic deserves an epsilon.
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class PathContribution:
+    """One path's interval within a transfer."""
+
+    path_id: str
+    start: float
+    end: float
+    nbytes: int
+    chunks: int
+    theta: float
+    slack: float  # bottleneck end − this path's end (≥ 0)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class TransferBreakdown:
+    """Per-transfer completion attribution."""
+
+    name: str
+    src: int
+    dst: int
+    nbytes: int
+    start: float
+    end: float
+    paths: tuple[PathContribution, ...]
+    bottleneck: str  # path_id of the last-finishing path
+    bottleneck_chunk: str  # tag of its last-completing copy ("" if unknown)
+    pre_overhead: float  # put start → first path start (request/IPC/rndv)
+    post_overhead: float  # last path end → put end
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def max_slack(self) -> float:
+        return max((p.slack for p in self.paths), default=0.0)
+
+    @property
+    def max_relative_slack(self) -> float:
+        """Max slack as a fraction of the bottleneck path's duration."""
+        bn = next((p for p in self.paths if p.path_id == self.bottleneck), None)
+        if bn is None or bn.duration <= 0:
+            return 0.0
+        return self.max_slack / bn.duration
+
+
+class CriticalPathAnalyzer:
+    """Walks a run's span log (and optionally the fabric tracer)."""
+
+    def __init__(
+        self, spans: "SpanLog", tracer: "Tracer | None" = None
+    ) -> None:
+        self.spans = spans
+        self.tracer = tracer
+
+    # ------------------------------------------------------------------
+    def transfers(self, *, multipath_only: bool = False) -> list[TransferBreakdown]:
+        """One breakdown per put span, in completion order."""
+        path_spans = self.spans.for_cat("path")
+        out = []
+        for put in self.spans.for_cat("put"):
+            prefix = put.name + "/"
+            mine = [
+                s
+                for s in path_spans
+                if s.name.startswith(prefix)
+                and s.start >= put.start - _EPS
+                and s.end <= put.end + _EPS
+            ]
+            if not mine:
+                continue
+            bottleneck_end = max(s.end for s in mine)
+            paths = tuple(
+                PathContribution(
+                    path_id=s.name[len(prefix):],
+                    start=s.start,
+                    end=s.end,
+                    nbytes=int(s.args.get("nbytes", 0)),
+                    chunks=int(s.args.get("chunks", 1)),
+                    theta=float(s.args.get("theta", 0.0)),
+                    slack=bottleneck_end - s.end,
+                )
+                for s in sorted(mine, key=lambda s: s.name)
+            )
+            if multipath_only and len(paths) < 2:
+                continue
+            bottleneck = max(paths, key=lambda p: p.end)
+            out.append(
+                TransferBreakdown(
+                    name=put.name,
+                    src=int(put.args.get("src", -1)),
+                    dst=int(put.args.get("dst", -1)),
+                    nbytes=int(put.args.get("nbytes", 0)),
+                    start=put.start,
+                    end=put.end,
+                    paths=paths,
+                    bottleneck=bottleneck.path_id,
+                    bottleneck_chunk=self._last_chunk_tag(
+                        put.name, bottleneck.path_id
+                    ),
+                    pre_overhead=min(s.start for s in mine) - put.start,
+                    post_overhead=put.end - bottleneck_end,
+                )
+            )
+        out.sort(key=lambda t: t.end)
+        return out
+
+    def _last_chunk_tag(self, put_name: str, path_id: str) -> str:
+        """Tag of the bottleneck path's last-completing fabric copy."""
+        if self.tracer is None:
+            return ""
+        recs = self.tracer.for_tag_prefix(f"{put_name}/{path_id}:")
+        if not recs:
+            return ""
+        return max(recs, key=lambda r: r.end).tag
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """Aggregate view: bottleneck histogram plus slack stats per path."""
+        transfers = self.transfers()
+        bottlenecks: dict[str, int] = {}
+        slack: dict[str, list[float]] = {}
+        for t in transfers:
+            bottlenecks[t.bottleneck] = bottlenecks.get(t.bottleneck, 0) + 1
+            for p in t.paths:
+                slack.setdefault(p.path_id, []).append(p.slack)
+        return {
+            "transfers": len(transfers),
+            "bottleneck_counts": dict(sorted(bottlenecks.items())),
+            "slack_s": {
+                pid: {
+                    "mean": sum(v) / len(v),
+                    "max": max(v),
+                }
+                for pid, v in sorted(slack.items())
+            },
+            "max_relative_slack": max(
+                (t.max_relative_slack for t in transfers), default=0.0
+            ),
+        }
+
+
+__all__ = [
+    "PathContribution",
+    "TransferBreakdown",
+    "CriticalPathAnalyzer",
+]

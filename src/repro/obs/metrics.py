@@ -18,8 +18,11 @@ no-ops, so instrumented code needs no ``if enabled`` branches of its own.
 from __future__ import annotations
 
 import json
+import math
 import time
 from collections.abc import Callable
+
+from repro.util.rng import make_rng
 
 
 class Counter:
@@ -117,17 +120,32 @@ class _TimerContext:
 
 
 class Histogram:
-    """Power-of-two bucketed histogram (message sizes, chunk counts)."""
+    """Power-of-two bucketed histogram (message sizes, chunk counts).
 
-    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+    Alongside the exact buckets a bounded reservoir (Vitter's Algorithm R,
+    driven by a generator seeded from the histogram *name* so runs are
+    reproducible) keeps a uniform sample of observed values, from which
+    :meth:`quantile` / the ``p50``/``p90``/``p99`` snapshot fields are
+    computed.
+    """
 
-    def __init__(self, name: str) -> None:
+    __slots__ = (
+        "name", "count", "total", "min", "max", "buckets",
+        "reservoir", "reservoir_size", "_rng",
+    )
+
+    def __init__(self, name: str, reservoir_size: int = 256) -> None:
+        if reservoir_size < 1:
+            raise ValueError("reservoir_size must be >= 1")
         self.name = name
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = 0.0
         self.buckets: dict[int, int] = {}  # exponent -> count
+        self.reservoir: list[float] = []
+        self.reservoir_size = reservoir_size
+        self._rng = make_rng(None, "obs.histogram", name)
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -138,10 +156,25 @@ class Histogram:
             self.max = value
         exp = max(0, int(value).bit_length() - 1) if value >= 1 else 0
         self.buckets[exp] = self.buckets.get(exp, 0) + 1
+        if len(self.reservoir) < self.reservoir_size:
+            self.reservoir.append(value)
+        else:
+            j = int(self._rng.integers(0, self.count))
+            if j < self.reservoir_size:
+                self.reservoir[j] = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile over the reservoir sample (0 if empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if not self.reservoir:
+            return 0.0
+        ordered = sorted(self.reservoir)
+        return ordered[max(0, math.ceil(q * len(ordered)) - 1)]
 
     def snapshot(self) -> dict:
         return {
@@ -149,6 +182,9 @@ class Histogram:
             "mean": self.mean,
             "min": self.min if self.count else 0.0,
             "max": self.max,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
             "buckets": {f"2^{e}": n for e, n in sorted(self.buckets.items())},
         }
 

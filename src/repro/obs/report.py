@@ -1,0 +1,103 @@
+"""Human-readable reports for the closed-loop telemetry CLI commands."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.util.tables import Table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.critical_path import CriticalPathAnalyzer
+    from repro.obs.drift import DriftController, PredictionErrorTracker
+
+
+def drift_report(
+    closed: "PredictionErrorTracker",
+    open_loop: "PredictionErrorTracker | None" = None,
+    *,
+    controller: "DriftController | None" = None,
+    min_bytes: int = 0,
+    recovery_window: int = 16,
+) -> str:
+    """Prediction-error and recovery statistics, closed vs open loop."""
+    table = Table(
+        ["loop", "samples", "mean_abs_err", "tail_abs_err"],
+        title="prediction error (relative); tail = last "
+        f"{recovery_window} transfers",
+    )
+
+    def row(label, tracker):
+        table.add(
+            loop=label,
+            samples=len(tracker.records),
+            mean_abs_err=f"{tracker.mean_abs_error(min_bytes=min_bytes):.3f}",
+            tail_abs_err=(
+                f"{tracker.mean_abs_error(min_bytes=min_bytes, last=recovery_window):.3f}"
+            ),
+        )
+
+    row("closed", closed)
+    if open_loop is not None:
+        row("open", open_loop)
+    lines = [table.render()]
+
+    if controller is not None:
+        lines.append("")
+        events = Table(
+            ["seq", "time_ms", "pair", "hops_refit", "plans_invalidated",
+             "max_beta_change"],
+            title="drift events (detector firings that changed the model)",
+        )
+        for e in controller.events:
+            events.add(
+                seq=e.seq,
+                time_ms=f"{e.time * 1e3:.2f}",
+                pair=f"{e.src}->{e.dst}",
+                hops_refit=len(e.refits),
+                plans_invalidated=e.plans_invalidated,
+                max_beta_change=(
+                    f"{max(e.refits, key=lambda r: abs(r.beta_change)).beta_change:+.1%}"
+                    if e.refits
+                    else "-"
+                ),
+            )
+        lines.append(events.render())
+    return "\n".join(lines)
+
+
+def critical_path_report(
+    analyzer: "CriticalPathAnalyzer", *, limit: int = 20
+) -> str:
+    """Per-transfer bottleneck table plus the aggregate slack summary."""
+    transfers = analyzer.transfers()
+    table = Table(
+        ["transfer", "nbytes", "dur_ms", "bottleneck", "max_slack_us",
+         "rel_slack", "last_chunk"],
+        title="critical-path attribution (slack ≈ 0 ⇔ Theorem 1 split)",
+    )
+    for t in transfers[-limit:]:
+        table.add(
+            transfer=t.name,
+            nbytes=t.nbytes,
+            dur_ms=f"{t.duration * 1e3:.3f}",
+            bottleneck=t.bottleneck,
+            max_slack_us=f"{t.max_slack * 1e6:.2f}",
+            rel_slack=f"{t.max_relative_slack:.2%}",
+            last_chunk=t.bottleneck_chunk or "-",
+        )
+    summary = analyzer.summary()
+    lines = [table.render(), ""]
+    lines.append(
+        f"transfers={summary['transfers']} "
+        f"max_relative_slack={summary['max_relative_slack']:.2%}"
+    )
+    for pid, s in summary["slack_s"].items():
+        lines.append(
+            f"  {pid}: mean_slack={s['mean'] * 1e6:.2f}us "
+            f"max_slack={s['max'] * 1e6:.2f}us "
+            f"bottleneck_count={summary['bottleneck_counts'].get(pid, 0)}"
+        )
+    return "\n".join(lines)
+
+
+__all__ = ["drift_report", "critical_path_report"]

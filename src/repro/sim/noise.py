@@ -78,6 +78,39 @@ class SizeDependentEfficiency:
         return 1.0 + self.knee_bytes / float(nbytes)
 
 
+class LinearDrift:
+    """Deterministic slow degradation of one channel's effective bandwidth.
+
+    Models DVFS / thermal-throttling style drift: the service-demand
+    multiplier ramps linearly from 1.0 to ``factor`` over ``ramp``
+    invocations starting at invocation ``start`` (each fabric copy on the
+    channel consults its jitter model exactly once), then holds at
+    ``factor``.  A ``factor`` of ``1 / (1 - d)`` degrades the channel's
+    effective bandwidth by the fraction ``d``; ``ramp=0`` gives a step
+    change.  Purely counter-based, hence reproducible without a seed —
+    the drift-detection benches rely on knowing exactly when the channel
+    started lying to the calibrated model.
+    """
+
+    def __init__(self, factor: float, start: int = 0, ramp: int = 0) -> None:
+        if factor <= 0:
+            raise ValueError("factor must be > 0")
+        if start < 0 or ramp < 0:
+            raise ValueError("start and ramp must be >= 0")
+        self.factor = float(factor)
+        self.start = int(start)
+        self.ramp = int(ramp)
+        self.calls = 0
+
+    def __call__(self, nbytes: int) -> float:
+        self.calls += 1
+        elapsed = self.calls - 1 - self.start  # 0 at the onset invocation
+        if elapsed < 0:
+            return 1.0
+        progress = 1.0 if self.ramp == 0 else min(1.0, (elapsed + 1) / self.ramp)
+        return 1.0 + (self.factor - 1.0) * progress
+
+
 class ComposedJitter:
     """Product of several jitter models."""
 
@@ -95,5 +128,6 @@ __all__ = [
     "LognormalJitter",
     "BurstSlowdown",
     "SizeDependentEfficiency",
+    "LinearDrift",
     "ComposedJitter",
 ]

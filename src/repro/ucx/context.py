@@ -12,7 +12,7 @@ from collections.abc import Callable
 from repro.core.params import ParameterStore
 from repro.core.planner import PathPlanner
 from repro.gpu.runtime import GPURuntime
-from repro.obs import Observability
+from repro.obs import DriftController, Observability
 from repro.sim.engine import Engine
 from repro.sim.trace import Tracer
 from repro.topology.node import NodeTopology
@@ -63,6 +63,17 @@ class UCXContext:
         self.cuda_ipc = CudaIpcModule(self)
         self._endpoints: dict[tuple[int, int], Endpoint] = {}
         if obs is not None:
+            if obs.autotune and tracer is not None and obs.drift is None:
+                # Close the loop: predictions vs observed times feed a
+                # drift detector that refits (α̂, β̂) from live traces and
+                # invalidates the stale cached plans.  Shares the bundle's
+                # error tracker so telemetry covers every sample.
+                obs.drift = DriftController(
+                    self.planner,
+                    tracer,
+                    tracker=obs.errors,
+                    metrics=obs.metrics,
+                )
             self._register_collectors(obs)
 
     def _register_collectors(self, obs: Observability) -> None:
@@ -80,6 +91,9 @@ class UCXContext:
                 **obs.decisions.summary(),
             },
         )
+        m.register_collector("model_error", obs.errors.summary)
+        if obs.drift is not None:
+            m.register_collector("drift", obs.drift.summary)
 
     # ------------------------------------------------------------------
     def endpoint(self, src: int, dst: int) -> Endpoint:
@@ -111,6 +125,10 @@ class UCXContext:
             max_chunks=config.max_chunks,
             obs=self.obs,
         )
+        if self.obs is not None and self.obs.drift is not None:
+            # The controller invalidates through whichever planner is live.
+            self.obs.drift.planner = self.planner
+            self.obs.drift.recalibrator.store = self.store
 
 
 __all__ = ["UCXContext"]

@@ -65,14 +65,18 @@ class CudaIpcModule:
             raise ValueError("negative PUT size")
         self.puts_issued += 1
         return self.context.engine.process(
-            self._put_proc(src, dst, nbytes, tag), name=f"put:{src}->{dst}"
+            self._put_proc(src, dst, nbytes, tag, self.puts_issued),
+            name=f"put:{src}->{dst}",
         )
 
-    def _put_proc(self, src: int, dst: int, nbytes: int, tag: str):
+    def _put_proc(self, src: int, dst: int, nbytes: int, tag: str, seq: int):
         ctx = self.context
         cfg = ctx.config
         engine = ctx.engine
         start = engine.now
+        # One label names the put span AND prefixes its per-path pipeline
+        # spans/copy tags, so the critical-path analyzer can join them.
+        label = tag or f"put{seq}"
 
         # Per-request software cost + (cached) IPC handle translation.
         if cfg.request_overhead > 0:
@@ -106,7 +110,8 @@ class CudaIpcModule:
                     exclude=cfg.exclude_paths,
                 )
                 mode = "dynamic"
-        yield ctx.pipeline.execute(plan, tag=tag or f"put{self.puts_issued}")
+        exec_start = engine.now
+        yield ctx.pipeline.execute(plan, tag=label)
         end = engine.now
         self.puts_completed += 1
         self.bytes_put += nbytes
@@ -115,17 +120,26 @@ class CudaIpcModule:
         obs = ctx.obs
         if obs is not None:
             obs.spans.record(
-                tag or f"put {src}->{dst}",
+                label,
                 "put",
                 f"put:{src}->{dst}",
                 start,
                 end,
+                seq=seq,
+                src=src,
+                dst=dst,
                 nbytes=nbytes,
                 protocol=protocol,
                 mode=mode,
                 paths=plan.num_active_paths,
+                predicted=plan.predicted_time,
             )
             obs.metrics.histogram("cuda_ipc.put_nbytes").observe(nbytes)
+            # Closed-loop feedback: only dynamic rndv plans carry a real
+            # model prediction (single/static use placeholder times), and
+            # the prediction covers the pipeline execution interval only.
+            if mode == "dynamic" and protocol == "rndv":
+                obs.feedback(plan, end - exec_start, now=end)
         return PutResult(
             src=src,
             dst=dst,

@@ -148,6 +148,8 @@ class PipelineEngine:
                 f"pipe:{plan.src}->{plan.dst}:{a.path.path_id}",
                 start,
                 end,
+                src=plan.src,
+                dst=plan.dst,
                 nbytes=a.nbytes,
                 chunks=chunks,
                 theta=a.theta,

@@ -10,7 +10,7 @@ which relies on the cache being effective).
 from __future__ import annotations
 
 from collections import OrderedDict
-from collections.abc import Hashable
+from collections.abc import Callable, Hashable
 from typing import Any, Generic, TypeVar
 
 K = TypeVar("K", bound=Hashable)
@@ -28,6 +28,7 @@ class LRUCache(Generic[K, V]):
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
 
     def get(self, key: K, default: Any = None) -> V | Any:
         if key in self._data:
@@ -44,6 +45,20 @@ class LRUCache(Generic[K, V]):
         if len(self._data) > self.capacity:
             self._data.popitem(last=False)
             self.evictions += 1
+
+    def invalidate(self, predicate: Callable[[K, V], bool]) -> int:
+        """Drop every entry for which ``predicate(key, value)`` is true.
+
+        Targeted invalidation for staleness (a recalibrated hop makes every
+        cached plan that crosses it wrong) — unlike :meth:`clear`, entries
+        that still reflect reality survive, and the hit/miss statistics are
+        kept.  Returns the number of entries removed.
+        """
+        stale = [k for k, v in self._data.items() if predicate(k, v)]
+        for key in stale:
+            del self._data[key]
+        self.invalidations += len(stale)
+        return len(stale)
 
     def __contains__(self, key: K) -> bool:
         return key in self._data
@@ -66,6 +81,7 @@ class LRUCache(Generic[K, V]):
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
 
     @property
     def hit_rate(self) -> float:
@@ -77,6 +93,7 @@ class LRUCache(Generic[K, V]):
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "invalidations": self.invalidations,
             "size": len(self._data),
             "hit_rate": self.hit_rate,
         }

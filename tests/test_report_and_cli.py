@@ -68,3 +68,49 @@ class TestCli:
     def test_unknown_system_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig4", "--system", "mars"])
+
+    def test_invalid_gpu_pair_exits_cleanly(self):
+        # Regression: an out-of-range GPU id must produce a clean error
+        # message (like the --size fix), not a KeyError traceback.
+        with pytest.raises(SystemExit) as exc:
+            main(["stats", "--system", "beluga", "--quick", "--dst", "9"])
+        assert "invalid --dst 9" in str(exc.value)
+        assert "GPUs 0..3" in str(exc.value)
+        with pytest.raises(SystemExit) as exc:
+            main(["stats", "--system", "beluga", "--quick", "--src", "-1"])
+        assert "invalid --src -1" in str(exc.value)
+
+    def test_equal_gpu_pair_rejected(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["trace", "--system", "beluga", "--quick",
+                  "--src", "2", "--dst", "2"])
+        assert "must name different GPUs" in str(exc.value)
+
+    def test_invalid_size_still_exits_cleanly(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["stats", "--system", "beluga", "--size", "banana"])
+        assert "invalid --size" in str(exc.value)
+
+    def test_drift_command_prints_recovery_table(self, capsys):
+        assert main(["drift", "--system", "beluga", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "closed" in out and "open" in out
+        assert "drift events" in out
+
+    def test_critical_path_command_prints_slack(self, capsys):
+        assert main(
+            ["critical-path", "--system", "beluga", "--quick", "--size", "16M"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "critical-path attribution" in out
+        assert "max_relative_slack" in out
+
+    def test_stats_dump_writes_artifacts(self, tmp_path, capsys):
+        prefix = tmp_path / "run"
+        assert main(
+            ["stats", "--system", "beluga", "--quick", "--size", "16M",
+             "--dump", str(prefix)]
+        ) == 0
+        assert (tmp_path / "run.metrics.json").exists()
+        assert (tmp_path / "run.trace.json").exists()
+        assert (tmp_path / "run.decisions.jsonl").exists()
