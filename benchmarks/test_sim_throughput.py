@@ -1,0 +1,67 @@
+"""Perf-regression harness for the simulator core (writes BENCH_sim.json).
+
+Runs the :mod:`repro.bench.perfsuite` workloads once and asserts the PR's
+performance floor:
+
+* incremental fluid solver >= 1.5x the full-recompute reference on the
+  solver microbenchmark;
+* FIG5 sweep >= 3x the pre-PR configuration (full-recompute + cold
+  calibration + serial) when cores are available for ``--jobs``, and a
+  serial-only floor on single-core machines (where the fan-out cannot
+  contribute wall clock);
+* cached planner lookups stay negligible against the transfers they plan;
+* no gated series regressed >30% against the committed baseline
+  (``benchmarks/results/perf_baseline.json``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from conftest import RESULTS_DIR, write_result
+
+from repro.bench.perfsuite import check_regression, run_suite
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return run_suite(quick=True)
+
+
+def test_solver_microbench_speedup(suite):
+    solver = suite["solver"]
+    assert solver["speedup_vs_full_recompute"] >= 1.5
+    # the fast paths (not just noise) produce the win
+    assert solver["solver_fast_admits"] > 0
+    assert solver["solver_fast_finishes"] > 0
+    assert solver["rate_recomputes"] < solver["full_recompute_rate_recomputes"] / 2
+    assert solver["events_cancelled"] > 0
+
+
+def test_fig5_sweep_speedup(suite):
+    fig5 = suite["fig5"]
+    if fig5["cpu_count"] >= 4:
+        assert fig5["speedup"] >= 3.0
+    else:
+        # single-core: only the solver + calibration cache can contribute
+        # (no fan-out), and wall clock is scheduler-noisy — gate on parent
+        # CPU time with a floor under the 1.17-1.23x observed range
+        assert fig5["cpu_speedup"] >= 1.10
+    assert fig5["rows"] > 0
+
+
+def test_planner_overhead_negligible(suite):
+    assert suite["planner"]["overhead_vs_64mib_transfer"] < 0.01
+
+
+def test_write_bench_json_and_gate_vs_baseline(suite):
+    text = json.dumps(suite, indent=2, sort_keys=True)
+    write_result("BENCH_sim.json", text + "\n")
+    baseline_path = RESULTS_DIR / "perf_baseline.json"
+    if not baseline_path.exists():  # pragma: no cover - fresh checkout only
+        pytest.skip("no committed perf baseline")
+    failures = check_regression(
+        suite, json.loads(baseline_path.read_text()), max_regress=0.30
+    )
+    assert not failures, "; ".join(failures)

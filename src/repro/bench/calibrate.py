@@ -18,6 +18,10 @@ planner, persistable through :class:`~repro.ucx.registry.ModelRegistry`.
 
 from __future__ import annotations
 
+import hashlib
+import json
+from pathlib import Path
+
 import numpy as np
 
 from repro.core.chunking import chunking_ratio, fit_phi
@@ -212,13 +216,128 @@ def calibrate(
     return store
 
 
+# ----------------------------------------------------------------------
+# Calibration cache
+# ----------------------------------------------------------------------
+# Calibration is deterministic given (system, noise model, seed, size
+# sweeps), so its result can be memoised in-process and persisted on disk.
+# Experiments that re-run identical ping-pong sweeps per figure hit the
+# cache instead; the key captures every calibration input, so any change
+# (different sweep, different noise) invalidates naturally.
+
+#: Bump when the calibration algorithm changes in a result-affecting way —
+#: stale on-disk entries from older code must not be served.
+CAL_CACHE_VERSION = 1
+
+_CAL_MEMO: dict[str, str] = {}  # key -> ParameterStore JSON
+cache_stats = {"memo_hits": 0, "disk_hits": 0, "misses": 0}
+
+
+def calibration_cache_key(
+    system: str,
+    *,
+    sizes=DEFAULT_SWEEP,
+    phi_window=DEFAULT_PHI_WINDOW,
+    jitter_seed: int | None = 0,
+    jitter_sigma: float = 0.0,
+) -> tuple[dict, str]:
+    """(key payload, digest) identifying one calibration's full input set."""
+    payload = {
+        "version": CAL_CACHE_VERSION,
+        "system": system,
+        "sizes": [int(s) for s in sizes],
+        "phi_window": [int(s) for s in phi_window],
+        "jitter_seed": jitter_seed,
+        "jitter_sigma": float(jitter_sigma),
+    }
+    material = json.dumps(payload, sort_keys=True).encode()
+    return payload, hashlib.sha256(material).hexdigest()[:20]
+
+
+def calibrate_cached(
+    topology: NodeTopology,
+    *,
+    sizes=DEFAULT_SWEEP,
+    phi_window=DEFAULT_PHI_WINDOW,
+    jitter_seed: int | None = 0,
+    jitter_sigma: float = 0.0,
+    cache_dir: str | Path | None = None,
+) -> ParameterStore:
+    """Memoised :func:`calibrate` keyed by (system, noise model, sweeps).
+
+    The jitter model is reconstructed from ``(jitter_seed, jitter_sigma)``
+    via :func:`repro.bench.env.default_jitter_factory` so the cache key is
+    a complete description of the calibration inputs.  With ``cache_dir``
+    set, results are also persisted as JSON (one file per key) and shared
+    across processes/runs; the stored key payload is verified on load so a
+    digest collision or edited file cannot serve wrong parameters.  Each
+    call returns a *fresh* store (JSON round-trip, which is float-exact),
+    so callers mutating their store (e.g. online recalibration) cannot
+    pollute the cache.
+    """
+    from repro.bench.env import default_jitter_factory
+
+    payload, digest = calibration_cache_key(
+        topology.name,
+        sizes=sizes,
+        phi_window=phi_window,
+        jitter_seed=jitter_seed,
+        jitter_sigma=jitter_sigma,
+    )
+    text = _CAL_MEMO.get(digest)
+    if text is not None:
+        cache_stats["memo_hits"] += 1
+        return ParameterStore.from_json(text)
+    path = None
+    if cache_dir is not None:
+        path = Path(cache_dir) / f"cal_{topology.name}_{digest}.json"
+        if path.exists():
+            try:
+                doc = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                doc = None
+            if doc is not None and doc.get("key") == payload:
+                text = json.dumps(doc["store"])
+                _CAL_MEMO[digest] = text
+                cache_stats["disk_hits"] += 1
+                return ParameterStore.from_json(text)
+    cache_stats["misses"] += 1
+    jitter_factory = default_jitter_factory(jitter_seed, jitter_sigma)
+    store = calibrate(
+        topology,
+        sizes=sizes,
+        phi_window=phi_window,
+        jitter_factory=jitter_factory,
+    )
+    text = store.to_json()
+    _CAL_MEMO[digest] = text
+    if path is not None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps({"key": payload, "store": json.loads(text)}, indent=2)
+        )
+    return ParameterStore.from_json(text)
+
+
+def clear_calibration_memo() -> None:
+    """Drop the in-process calibration memo (not any on-disk entries)."""
+    _CAL_MEMO.clear()
+    for k in cache_stats:
+        cache_stats[k] = 0
+
+
 __all__ = [
     "calibrate",
+    "calibrate_cached",
+    "calibration_cache_key",
+    "clear_calibration_memo",
+    "cache_stats",
     "calibrate_hop",
     "calibrate_epsilon",
     "calibrate_phi_analytic",
     "calibrate_launch_overhead",
     "fit_hockney",
+    "CAL_CACHE_VERSION",
     "DEFAULT_SWEEP",
     "DEFAULT_PHI_WINDOW",
 ]

@@ -12,6 +12,7 @@ and reports the four series of the paper's plots:
 from __future__ import annotations
 
 from repro.bench.omb import osu_bw
+from repro.bench.parallel import parallel_map
 from repro.bench.runner import (
     PATH_CONFIGS,
     SystemSetup,
@@ -41,6 +42,45 @@ def predicted_bandwidth(setup: SystemSetup, paths_label: str, nbytes: int) -> fl
     return planner.predict_bandwidth(0, 1, nbytes, **PATH_CONFIGS[paths_label])
 
 
+def _fig5_point(task: tuple) -> list[dict]:
+    """Measure one (system, label, size) sweep point across all windows.
+
+    Module-level so the parallel runner can pickle it; the grouping reuses
+    the offline static-search result (memoised per (label, size)) across
+    windows within one process.
+    """
+    (system, label, windows, n, iterations, warmup,
+     grid_steps, chunk_menu, jitter_sigma) = task
+    setup = get_setup(system, jitter_sigma=jitter_sigma)
+    configs = configs_for(
+        setup, label, n, grid_steps=grid_steps, chunk_menu=chunk_menu
+    )
+    predicted = to_gbps(predicted_bandwidth(setup, label, n))
+    rows = []
+    for window in windows:
+        measured = {}
+        for series, cfg in configs.items():
+            result = osu_bw(
+                setup.env(cfg),
+                n,
+                window=window,
+                iterations=iterations,
+                warmup=warmup,
+            )
+            measured[series] = result.bandwidth
+        rows.append(dict(
+            system=system,
+            paths=label,
+            window=window,
+            size_mib=n // MiB,
+            direct_gbps=to_gbps(measured["direct"]),
+            static_gbps=to_gbps(measured["static"]),
+            dynamic_gbps=to_gbps(measured["dynamic"]),
+            predicted_gbps=predicted,
+        ))
+    return rows
+
+
 def run_fig5(
     systems: tuple[str, ...] = ("beluga", "narval"),
     *,
@@ -52,40 +92,30 @@ def run_fig5(
     grid_steps: int = 6,
     chunk_menu: tuple[int, ...] = (1, 4, 16),
     jitter_sigma: float = 0.0,
+    jobs: int | None = None,
 ) -> Table:
     sizes = sizes or default_sizes()
     table = Table(FIG5_COLUMNS, title="FIG5: unidirectional MPI bandwidth (GB/s)")
+    # Warm the calibration cache before forking so workers inherit it.
     for system in systems:
-        setup = get_setup(system, jitter_sigma=jitter_sigma)
+        get_setup(system, jitter_sigma=jitter_sigma)
+    tasks = [
+        (system, label, tuple(windows), n, iterations, warmup,
+         grid_steps, tuple(chunk_menu), jitter_sigma)
+        for system in systems
+        for label in paths_labels
+        for n in sizes
+    ]
+    rows = {}
+    for task_rows in parallel_map(_fig5_point, tasks, jobs=jobs):
+        for row in task_rows:
+            rows[(row["system"], row["paths"], row["window"], row["size_mib"])] = row
+    # Emit in the historical (system, label, window, size) order.
+    for system in systems:
         for label in paths_labels:
             for window in windows:
                 for n in sizes:
-                    configs = configs_for(
-                        setup, label, n,
-                        grid_steps=grid_steps, chunk_menu=chunk_menu,
-                    )
-                    measured = {}
-                    for series, cfg in configs.items():
-                        result = osu_bw(
-                            setup.env(cfg),
-                            n,
-                            window=window,
-                            iterations=iterations,
-                            warmup=warmup,
-                        )
-                        measured[series] = result.bandwidth
-                    table.add(
-                        system=system,
-                        paths=label,
-                        window=window,
-                        size_mib=n // MiB,
-                        direct_gbps=to_gbps(measured["direct"]),
-                        static_gbps=to_gbps(measured["static"]),
-                        dynamic_gbps=to_gbps(measured["dynamic"]),
-                        predicted_gbps=to_gbps(
-                            predicted_bandwidth(setup, label, n)
-                        ),
-                    )
+                    table.add(**rows[(system, label, window, n // MiB)])
     return table
 
 

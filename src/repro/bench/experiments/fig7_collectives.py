@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.bench.collectives import COLLECTIVES
 from repro.bench.omb import osu_collective_latency
+from repro.bench.parallel import parallel_map
 from repro.bench.runner import configs_for, get_setup
 from repro.units import MiB
 from repro.util.tables import Table
@@ -49,6 +50,42 @@ def _step_size_hint(collective: str, nbytes_per_rank: int, num_ranks: int) -> in
     return max(1 * MiB, nbytes_per_rank // 2)
 
 
+def _fig7_point(task: tuple) -> dict:
+    """Measure one (system, collective, label, size) latency point.
+
+    Module-level for pickling by the parallel runner.
+    """
+    (system, name, label, n, iterations, warmup,
+     grid_steps, chunk_menu, jitter_sigma) = task
+    setup = get_setup(system, jitter_sigma=jitter_sigma)
+    fn = COLLECTIVES[name]
+    hint = _step_size_hint(name, n, setup.topology.num_gpus)
+    configs = configs_for(
+        setup, label, hint, grid_steps=grid_steps, chunk_menu=chunk_menu
+    )
+    lat = {}
+    for series, cfg in configs.items():
+        result = osu_collective_latency(
+            setup.env(cfg),
+            fn,
+            n,
+            iterations=iterations,
+            warmup=warmup,
+        )
+        lat[series] = result.latency
+    return dict(
+        system=system,
+        collective=name,
+        paths=label,
+        size_mib=n // MiB,
+        direct_latency_us=lat["direct"] * 1e6,
+        static_latency_us=lat["static"] * 1e6,
+        dynamic_latency_us=lat["dynamic"] * 1e6,
+        static_speedup=lat["direct"] / lat["static"],
+        dynamic_speedup=lat["direct"] / lat["dynamic"],
+    )
+
+
 def run_fig7(
     systems: tuple[str, ...] = ("beluga", "narval"),
     *,
@@ -60,41 +97,23 @@ def run_fig7(
     grid_steps: int = 6,
     chunk_menu: tuple[int, ...] = (1, 4, 16),
     jitter_sigma: float = 0.0,
+    jobs: int | None = None,
 ) -> Table:
     sizes = sizes or collective_sizes()
     table = Table(FIG7_COLUMNS, title="FIG7: collective latency speedup vs MPI+UCC+UCX")
+    # Warm the calibration cache before forking so workers inherit it.
     for system in systems:
-        setup = get_setup(system, jitter_sigma=jitter_sigma)
-        for name in collectives:
-            fn = COLLECTIVES[name]
-            for label in paths_labels:
-                for n in sizes:
-                    hint = _step_size_hint(name, n, setup.topology.num_gpus)
-                    configs = configs_for(
-                        setup, label, hint,
-                        grid_steps=grid_steps, chunk_menu=chunk_menu,
-                    )
-                    lat = {}
-                    for series, cfg in configs.items():
-                        result = osu_collective_latency(
-                            setup.env(cfg),
-                            fn,
-                            n,
-                            iterations=iterations,
-                            warmup=warmup,
-                        )
-                        lat[series] = result.latency
-                    table.add(
-                        system=system,
-                        collective=name,
-                        paths=label,
-                        size_mib=n // MiB,
-                        direct_latency_us=lat["direct"] * 1e6,
-                        static_latency_us=lat["static"] * 1e6,
-                        dynamic_latency_us=lat["dynamic"] * 1e6,
-                        static_speedup=lat["direct"] / lat["static"],
-                        dynamic_speedup=lat["direct"] / lat["dynamic"],
-                    )
+        get_setup(system, jitter_sigma=jitter_sigma)
+    tasks = [
+        (system, name, label, n, iterations, warmup,
+         grid_steps, tuple(chunk_menu), jitter_sigma)
+        for system in systems
+        for name in collectives
+        for label in paths_labels
+        for n in sizes
+    ]
+    for row in parallel_map(_fig7_point, tasks, jobs=jobs):
+        table.add(**row)
     return table
 
 

@@ -1,0 +1,352 @@
+"""Performance regression suite for the simulator core.
+
+Times the three hot layers this repo's results depend on and writes a
+machine-readable ``BENCH_sim.json``:
+
+* **solver** — a synthetic fluid-solver workload (contended waves over
+  shared channels + disjoint back-to-back chains) run through
+  :class:`~repro.sim.fabric.Fabric` twice: with the incremental solver and
+  with the ``full_recompute=True`` debug path.  Reports events/sec, rate
+  recomputes, fast-path counters, and the incremental-vs-full speedup.
+* **fig5** — one reduced FIG5 sweep cold (empty calibration memo, serial)
+  and once warm + parallel, measuring the end-to-end wall-clock win of the
+  calibration cache and the ``--jobs`` fan-out.
+* **planner** — cached Algorithm-1 lookups/sec (the per-put runtime cost).
+
+Usage::
+
+    python -m repro.bench.perfsuite --quick -o BENCH_sim.json
+    python -m repro.bench.perfsuite --quick --baseline benchmarks/results/perf_baseline.json
+
+With ``--baseline`` the suite exits non-zero if solver microbench
+throughput regressed by more than ``--max-regress`` (default 30 %) against
+the committed baseline — this is the CI perf-smoke gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.sim.engine import Engine
+from repro.sim.fabric import Fabric
+from repro.units import MiB
+
+PERF_SUITE_VERSION = 1
+
+#: Series compared against the baseline by :func:`check_regression`:
+#: (json path, human label).  All are "higher is better" throughputs.
+GATED_SERIES = (
+    (("solver", "events_per_sec"), "solver microbench throughput"),
+    (("solver", "speedup_vs_full_recompute"), "incremental solver speedup"),
+    (("planner", "cached_lookups_per_sec"), "cached planner lookups"),
+)
+
+
+# ----------------------------------------------------------------------
+# Solver microbenchmark
+# ----------------------------------------------------------------------
+
+def _solver_workload(
+    *,
+    waves: int,
+    flows_per_wave: int,
+    shared_channels: int,
+    chain_channels: int,
+    chain_length: int,
+    full_recompute: bool,
+) -> dict:
+    """Run one synthetic solver workload to completion; return stats.
+
+    Two phases run concurrently, mirroring what the benchmarks actually
+    stress: staggered waves of flows contending on a few shared channels
+    (windowed OSU loops), and per-channel back-to-back chains whose flows
+    never share a channel (pipelined chunk trains — the incremental
+    solver's fast path).
+    """
+    eng = Engine()
+    fabric = Fabric(eng, full_recompute=full_recompute)
+    for i in range(shared_channels):
+        fabric.add_channel(f"sh{i}", alpha=1e-6, beta=10e9 + i * 1e8)
+    for i in range(chain_channels):
+        fabric.add_channel(f"pv{i}", alpha=5e-7, beta=20e9 + i * 1e8)
+
+    for w in range(waves):
+        t0 = w * 2e-3
+        for f in range(flows_per_wave):
+            a = f % shared_channels
+            b = (f * 7 + w) % shared_channels
+            names = (f"sh{a}",) if a == b else (f"sh{a}", f"sh{b}")
+            nbytes = (1 + (f % 5)) * MiB
+            eng.call_at(t0 + (f % 17) * 1e-6).add_callback(
+                lambda _ev, names=names, nbytes=nbytes: fabric.copy(names, nbytes)
+            )
+
+    def chain(name: str, remaining: int) -> None:
+        if remaining <= 0:
+            return
+        fabric.copy(name, 4 * MiB).add_callback(
+            lambda _ev: chain(name, remaining - 1)
+        )
+
+    for i in range(chain_channels):
+        chain(f"pv{i}", chain_length)
+
+    t_start = time.perf_counter()
+    eng.run()
+    wall = time.perf_counter() - t_start
+    snap = eng.stats_snapshot()
+    return {
+        "wall_s": wall,
+        "events_processed": snap["events_processed"],
+        "events_per_sec": snap["events_processed"] / wall if wall > 0 else 0.0,
+        "events_cancelled": snap["events_cancelled"],
+        "heap_compactions": snap["heap_compactions"],
+        "peak_queued": snap["peak_queued"],
+        "rate_recomputes": fabric.rate_recomputes,
+        "solver_fast_admits": fabric.solver_fast_admits,
+        "solver_fast_finishes": fabric.solver_fast_finishes,
+        "flows_completed": fabric.flows_completed,
+    }
+
+
+def bench_solver(*, quick: bool = False, repeats: int = 3) -> dict:
+    """Incremental vs full-recompute solver on the synthetic workload."""
+    kw = dict(
+        waves=3 if quick else 6,
+        flows_per_wave=30 if quick else 60,
+        shared_channels=8,
+        chain_channels=4 if quick else 8,
+        chain_length=50 if quick else 200,
+    )
+    incr = min(
+        (_solver_workload(full_recompute=False, **kw) for _ in range(repeats)),
+        key=lambda r: r["wall_s"],
+    )
+    full = min(
+        (_solver_workload(full_recompute=True, **kw) for _ in range(repeats)),
+        key=lambda r: r["wall_s"],
+    )
+    incr["workload"] = kw
+    incr["full_recompute_wall_s"] = full["wall_s"]
+    incr["full_recompute_rate_recomputes"] = full["rate_recomputes"]
+    incr["speedup_vs_full_recompute"] = (
+        full["wall_s"] / incr["wall_s"] if incr["wall_s"] > 0 else 0.0
+    )
+    return incr
+
+
+# ----------------------------------------------------------------------
+# FIG5 sweep: calibration cache + parallel fan-out
+# ----------------------------------------------------------------------
+
+def bench_fig5(*, quick: bool = True, jobs: int | None = None, repeats: int = 2) -> dict:
+    """Pre-PR-configuration vs optimized wall clock for a FIG5 sweep.
+
+    Baseline reproduces how the sweep ran before the fast-core work:
+    full-recompute solver, cold calibration, serial execution.  The
+    optimized run uses the incremental solver, a warm calibration cache,
+    and fans points across ``jobs`` workers.  Both produce byte-identical
+    tables (asserted); the speedup on a single-core machine comes from the
+    solver + cache alone, so ``cpu_count`` is recorded alongside.  Each
+    side is timed ``repeats`` times and the best wall clock kept.
+    """
+    import os
+
+    import repro.sim.fabric as fabric_mod
+    from repro.bench.experiments import run_fig5
+    from repro.bench.parallel import default_jobs
+    from repro.bench.runner import clear_caches, get_setup
+
+    kw = dict(
+        systems=("beluga", "narval"),
+        sizes=[4 * MiB, 16 * MiB, 64 * MiB] if quick
+        else [2 * MiB, 8 * MiB, 32 * MiB, 128 * MiB, 512 * MiB],
+        windows=(1, 16),
+        iterations=2,
+        warmup=1,
+        grid_steps=4 if quick else 6,
+        chunk_menu=(1, 8) if quick else (1, 4, 16),
+    )
+    jobs = jobs if jobs is not None else default_jobs()
+
+    baseline_wall = optimized_wall = float("inf")
+    baseline_cpu = optimized_cpu = float("inf")
+    baseline = optimized = None
+    saved = fabric_mod.FULL_RECOMPUTE_DEFAULT
+    for _ in range(max(1, repeats)):
+        fabric_mod.FULL_RECOMPUTE_DEFAULT = True
+        try:
+            clear_caches()  # baseline pays calibration every run
+            t0, c0 = time.perf_counter(), time.process_time()
+            baseline = run_fig5(**kw)
+            baseline_wall = min(baseline_wall, time.perf_counter() - t0)
+            baseline_cpu = min(baseline_cpu, time.process_time() - c0)
+        finally:
+            fabric_mod.FULL_RECOMPUTE_DEFAULT = saved
+
+        clear_caches()
+        for system in kw["systems"]:
+            get_setup(system)  # warm calibration (what --cal-cache provides)
+        t0, c0 = time.perf_counter(), time.process_time()
+        optimized = run_fig5(**kw, jobs=jobs)
+        optimized_wall = min(optimized_wall, time.perf_counter() - t0)
+        optimized_cpu = min(optimized_cpu, time.process_time() - c0)
+
+    assert baseline.render() == optimized.render(), "fast path changed results"
+    return {
+        "rows": len(baseline.rows),
+        "jobs": jobs,
+        "cpu_count": os.cpu_count() or 1,
+        "baseline_wall_s": baseline_wall,
+        "optimized_wall_s": optimized_wall,
+        "speedup": baseline_wall / optimized_wall if optimized_wall > 0 else 0.0,
+        # parent-process CPU time: excludes scheduler noise (and, with
+        # jobs>1, the workers), so it is the stable serial-win metric
+        "baseline_cpu_s": baseline_cpu,
+        "optimized_cpu_s": optimized_cpu,
+        "cpu_speedup": (
+            baseline_cpu / optimized_cpu if optimized_cpu > 0 else 0.0
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# Planner overhead
+# ----------------------------------------------------------------------
+
+def bench_planner(*, quick: bool = False, repeats: int = 3) -> dict:
+    """Cached Algorithm-1 lookups per second (the per-put runtime cost).
+
+    Best-of-``repeats`` over a batch large enough (~0.1 s) that the
+    throughput is stable enough to gate on.
+    """
+    from repro.bench.runner import get_setup
+    from repro.core.planner import PathPlanner
+
+    setup = get_setup("beluga")
+    planner = PathPlanner(setup.topology, setup.store)
+    plan = planner.plan(0, 1, 64 * MiB)
+    lookups = 20_000 if quick else 50_000
+    wall = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        for _ in range(lookups):
+            plan = planner.plan(0, 1, 64 * MiB)
+        wall = min(wall, time.perf_counter() - t0)
+    assert plan.from_cache
+    return {
+        "lookups": lookups,
+        "wall_s": wall,
+        "cached_lookups_per_sec": lookups / wall if wall > 0 else 0.0,
+        "overhead_vs_64mib_transfer": (wall / lookups) / plan.predicted_time,
+    }
+
+
+# ----------------------------------------------------------------------
+# Suite driver
+# ----------------------------------------------------------------------
+
+def run_suite(*, quick: bool = False, jobs: int | None = None) -> dict:
+    return {
+        "version": PERF_SUITE_VERSION,
+        "quick": quick,
+        "solver": bench_solver(quick=quick),
+        "fig5": bench_fig5(quick=quick, jobs=jobs),
+        "planner": bench_planner(quick=quick),
+    }
+
+
+def _lookup(doc: dict, path: tuple[str, ...]):
+    for key in path:
+        doc = doc[key]
+    return doc
+
+
+def check_regression(
+    current: dict, baseline: dict, *, max_regress: float = 0.30
+) -> list[str]:
+    """Compare gated throughput series; return failure messages (empty=pass).
+
+    Raises :class:`ValueError` when the two documents come from
+    different-sized workloads (``--quick`` vs full): their absolute
+    throughputs are not comparable.
+    """
+    if current.get("quick") != baseline.get("quick"):
+        raise ValueError(
+            "cannot gate: current and baseline used different workload "
+            f"sizes (quick={current.get('quick')} vs {baseline.get('quick')})"
+        )
+    failures = []
+    for path, label in GATED_SERIES:
+        try:
+            base = float(_lookup(baseline, path))
+        except (KeyError, TypeError):
+            continue  # series absent from an older baseline: not gated
+        cur = float(_lookup(current, path))
+        if base > 0 and cur < base * (1.0 - max_regress):
+            failures.append(
+                f"{label}: {cur:,.0f}/s is {1 - cur / base:.0%} below "
+                f"baseline {base:,.0f}/s (limit {max_regress:.0%})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-perfsuite", description="Simulator-core perf regression suite"
+    )
+    parser.add_argument("--quick", action="store_true", help="CI-sized workloads")
+    parser.add_argument("-j", "--jobs", type=int, default=None)
+    parser.add_argument("-o", "--output", default="BENCH_sim.json")
+    parser.add_argument(
+        "--baseline", help="committed baseline JSON to gate against"
+    )
+    parser.add_argument(
+        "--max-regress",
+        type=float,
+        default=0.30,
+        help="max tolerated fractional throughput regression (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    doc = run_suite(quick=args.quick, jobs=args.jobs)
+    text = json.dumps(doc, indent=2, sort_keys=True)
+    Path(args.output).write_text(text + "\n")
+    print(text)
+    print(f"wrote {args.output}", file=sys.stderr)
+
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text())
+        try:
+            failures = check_regression(
+                doc, baseline, max_regress=args.max_regress
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for failure in failures:
+            print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"perf gate passed vs {args.baseline}", file=sys.stderr)
+    return 0
+
+
+__all__ = [
+    "PERF_SUITE_VERSION",
+    "GATED_SERIES",
+    "bench_solver",
+    "bench_fig5",
+    "bench_planner",
+    "run_suite",
+    "check_regression",
+    "main",
+]
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -13,7 +13,7 @@ from repro.bench.baselines import (
     static_config,
     static_search,
 )
-from repro.bench.calibrate import calibrate
+from repro.bench.calibrate import calibrate_cached
 from repro.bench.env import BenchEnvironment, default_jitter_factory
 from repro.core.params import ParameterStore
 from repro.topology import systems as systems_mod
@@ -74,6 +74,17 @@ class SystemSetup:
 
 _SETUP_CACHE: dict[tuple, SystemSetup] = {}
 
+#: Optional on-disk calibration cache directory (see ``--cal-cache``).
+#: When set, :func:`get_setup` persists/loads calibrated parameter stores
+#: through :func:`repro.bench.calibrate.calibrate_cached`.
+_CAL_CACHE_DIR: Path | None = None
+
+
+def set_cal_cache_dir(path: str | Path | None) -> None:
+    """Point calibration at an on-disk cache (None disables)."""
+    global _CAL_CACHE_DIR
+    _CAL_CACHE_DIR = None if path is None else Path(path)
+
 
 def get_setup(
     system: str, *, jitter_seed: int = 0, jitter_sigma: float = 0.0
@@ -84,8 +95,12 @@ def get_setup(
     if cached is not None:
         return cached
     topology = systems_mod.by_name(system)
-    jf = default_jitter_factory(jitter_seed, jitter_sigma)
-    store = calibrate(topology, jitter_factory=jf)
+    store = calibrate_cached(
+        topology,
+        jitter_seed=jitter_seed,
+        jitter_sigma=jitter_sigma,
+        cache_dir=_CAL_CACHE_DIR,
+    )
     setup = SystemSetup(
         name=system,
         topology=topology,
@@ -144,8 +159,11 @@ def configs_for(setup: SystemSetup, paths_label: str, nbytes: int, **search_kw):
 
 
 def clear_caches() -> None:
+    from repro.bench.calibrate import clear_calibration_memo
+
     _SETUP_CACHE.clear()
     _STATIC_CACHE.clear()
+    clear_calibration_memo()
 
 
 def dump_artifacts(prefix: str | Path, context) -> list[Path]:

@@ -39,7 +39,14 @@ from repro.bench.experiments.concurrent_pairs import run_concurrent_pairs
 from repro.bench.experiments.fig7_collectives import collective_sizes
 from repro.bench.experiments.drift_recovery import run_drift_recovery
 from repro.bench.omb import osu_bw
-from repro.bench.runner import default_sizes, dump_artifacts, get_setup, quick_sizes
+from repro.bench.parallel import default_jobs
+from repro.bench.runner import (
+    default_sizes,
+    dump_artifacts,
+    get_setup,
+    quick_sizes,
+    set_cal_cache_dir,
+)
 from repro.obs import CriticalPathAnalyzer, chrome_trace
 from repro.obs.report import critical_path_report, drift_report
 from repro.units import MiB, parse_size
@@ -58,6 +65,7 @@ def _grid(args):
         grid_steps=4 if args.quick else 6,
         chunk_menu=(1, 8) if args.quick else (1, 4, 16),
         iterations=2 if args.quick else 3,
+        jobs=args.jobs,
     )
 
 
@@ -370,7 +378,26 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "-o", "--output", help="output file (all: EXPERIMENTS.md; stats/trace: JSON)"
     )
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        nargs="?",
+        const=default_jobs(),
+        default=None,
+        metavar="N",
+        help="fan sweep points across N worker processes (bare --jobs: "
+        f"{default_jobs()} on this machine; default: serial)",
+    )
+    parser.add_argument(
+        "--cal-cache",
+        metavar="DIR",
+        help="persist calibrated parameter stores under DIR and reuse them "
+        "across runs",
+    )
     args = parser.parse_args(argv)
+    if args.cal_cache:
+        set_cal_cache_dir(args.cal_cache)
     COMMANDS[args.command](args)
     return 0
 

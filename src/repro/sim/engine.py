@@ -37,7 +37,14 @@ class Event:
     triggering is always initiated from engine context).
     """
 
-    __slots__ = ("engine", "callbacks", "_value", "_exception", "triggered")
+    __slots__ = (
+        "engine",
+        "callbacks",
+        "_value",
+        "_exception",
+        "triggered",
+        "cancelled",
+    )
 
     def __init__(self, engine: "Engine") -> None:
         self.engine = engine
@@ -45,6 +52,7 @@ class Event:
         self._value: Any = _PENDING
         self._exception: BaseException | None = None
         self.triggered = False
+        self.cancelled = False
 
     # ------------------------------------------------------------------
     @property
@@ -60,6 +68,8 @@ class Event:
     def succeed(self, value: Any = None) -> "Event":
         if self.triggered:
             raise SimError("event already triggered")
+        if self.cancelled:
+            raise SimError("event was cancelled")
         self.triggered = True
         self._value = value
         self._dispatch()
@@ -220,12 +230,20 @@ class Process(Event):
 class Engine:
     """The simulation clock and event heap."""
 
+    #: Tombstone compaction policy: rebuild the heap once cancelled entries
+    #: are numerous in absolute terms *and* make up at least half of it.
+    _COMPACT_MIN_TOMBSTONES = 64
+
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Event, Any]] = []
         self._seq = 0
         self._running = False
+        self._tombstones = 0
         self.events_processed = 0
+        self.events_cancelled = 0
+        self.heap_compactions = 0
+        self.peak_queued = 0
 
     # ------------------------------------------------------------------
     # Event factories
@@ -253,6 +271,8 @@ class Engine:
             raise SimError(f"cannot schedule in the past ({at} < {self.now})")
         self._seq += 1
         heapq.heappush(self._heap, (at, self._seq, event, value))
+        if len(self._heap) > self.peak_queued:
+            self.peak_queued = len(self._heap)
 
     def call_at(self, at: float) -> Event:
         """An event succeeding at absolute time ``at`` (>= now)."""
@@ -260,12 +280,38 @@ class Engine:
         self._schedule(at, ev, None)
         return ev
 
+    def cancel(self, event: Event) -> bool:
+        """Lazily cancel a pending scheduled event (tombstone it).
+
+        The heap entry is skipped when popped instead of being triggered;
+        once tombstones dominate the heap it is compacted in one pass.
+        Returns False (a no-op) for events already triggered or cancelled.
+        """
+        if event.triggered or event.cancelled:
+            return False
+        event.cancelled = True
+        self.events_cancelled += 1
+        self._tombstones += 1
+        if (
+            self._tombstones >= self._COMPACT_MIN_TOMBSTONES
+            and 2 * self._tombstones >= len(self._heap)
+        ):
+            self._heap = [item for item in self._heap if not item[2].cancelled]
+            heapq.heapify(self._heap)
+            self._tombstones = 0
+            self.heap_compactions += 1
+        return True
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> None:
         at, _, event, value = heapq.heappop(self._heap)
         self.now = at
+        if event.cancelled:
+            if self._tombstones > 0:
+                self._tombstones -= 1
+            return
         self.events_processed += 1
         if not event.triggered:
             event.succeed(value)
@@ -315,7 +361,10 @@ class Engine:
         return {
             "now": self.now,
             "events_processed": self.events_processed,
+            "events_cancelled": self.events_cancelled,
+            "heap_compactions": self.heap_compactions,
             "queued": len(self._heap),
+            "peak_queued": self.peak_queued,
         }
 
 

@@ -16,6 +16,22 @@ simulation that is exact and deterministic.
 This is deliberately richer than the paper's analytical model (which assumes
 isolated paths with fixed per-link bandwidth): the gap between the two is
 precisely the prediction error the paper reports in §5.
+
+Solver performance
+------------------
+
+The solver is *incremental*: the channel→flows membership index and the
+per-channel live-flow counts are maintained on admit/finish instead of
+being rebuilt per recompute, and a full progressive-filling pass is skipped
+entirely when a change is provably local — a flow whose channels carry no
+other live flow cannot perturb anyone else's max-min rate, so its rate is
+simply the minimum β over its channels.  Stale bandwidth-phase wakeups are
+lazily cancelled out of the :class:`~repro.sim.engine.Engine` heap
+(tombstones + periodic compaction) instead of accumulating until their
+timestamps pass.  None of this changes a single simulated timestamp: the
+pre-optimisation full-recompute path is kept behind the ``full_recompute``
+debug flag (see :data:`FULL_RECOMPUTE_DEFAULT`) and a regression test
+asserts bit-identical completion times and tracer records between the two.
 """
 
 from __future__ import annotations
@@ -28,6 +44,12 @@ from repro.sim.link import TransferResult
 from repro.sim.trace import Tracer
 
 _EPS_BYTES = 1e-6
+
+#: Debug switch: when True, fabrics built without an explicit
+#: ``full_recompute`` argument run the original O(flows×channels)
+#: full-recompute solver on every admit/finish.  Timeline-invariance tests
+#: flip this to prove the incremental solver changes no timestamps.
+FULL_RECOMPUTE_DEFAULT = False
 
 
 @dataclass
@@ -70,24 +92,46 @@ class FabricFlow:
     start_time: float
     rate: float = 0.0
     admitted: bool = field(default=False)
+    # Completion threshold, precomputed once (see Fabric._flow_done).
+    done_eps: float = _EPS_BYTES
+    # Solver scratch: generation mark of the progressive-filling pass that
+    # froze this flow (avoids building an `unfrozen` set per solve).
+    solve_mark: int = field(default=-1, repr=False, compare=False)
 
 
 class Fabric:
     """The set of channels plus the global fluid-rate solver."""
 
-    def __init__(self, engine: Engine, tracer: Tracer | None = None) -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        tracer: Tracer | None = None,
+        *,
+        full_recompute: bool | None = None,
+    ) -> None:
         self.engine = engine
         self.tracer = tracer
         self.channels: dict[str, FabricChannel] = {}
         self._flows: dict[int, FabricFlow] = {}
+        # Channel name -> {flow_id: None} of live flows crossing it, in
+        # admit order (dicts preserve insertion).  Maintained incrementally
+        # on admit/finish; keys whose membership empties are removed.
+        self._members: dict[str, dict[int, None]] = {}
         self._next_flow_id = 0
         self._last_sync = 0.0
         self._wakeup_generation = 0
+        self._solve_mark = 0
+        self._pending_wakeup: Event | None = None
+        self.full_recompute = (
+            FULL_RECOMPUTE_DEFAULT if full_recompute is None else full_recompute
+        )
         # run-level counters (always on: one int add per flow / recompute)
         self.flows_admitted = 0
         self.flows_completed = 0
         self.zero_byte_copies = 0
         self.rate_recomputes = 0
+        self.solver_fast_admits = 0
+        self.solver_fast_finishes = 0
 
     # ------------------------------------------------------------------
     # Topology construction
@@ -171,6 +215,7 @@ class Fabric:
             event=done,
             tag=tag,
             start_time=start,
+            done_eps=max(_EPS_BYTES, 1e-9 * demand),
         )
         self._next_flow_id += 1
         if nbytes == 0:
@@ -192,11 +237,34 @@ class Fabric:
         flow.admitted = True
         self.flows_admitted += 1
         self._flows[flow.flow_id] = flow
+        disjoint = True
         for name in flow.channels:
             ch = self.channels[name]
             ch.total_flows += 1
-        self._update_concurrency_stats()
-        self._recompute()
+            members = self._members.get(name)
+            if members is None:
+                members = self._members[name] = {}
+            members[flow.flow_id] = None
+            live = len(members)
+            if live > 1:
+                disjoint = False
+            if live > ch.max_concurrency:
+                ch.max_concurrency = live
+        if self.full_recompute:
+            self._update_concurrency_stats()
+            self._recompute()
+            return
+        if disjoint:
+            # Provably local change: no other live flow crosses any of this
+            # flow's channels, so progressive filling would leave everyone
+            # else's rate untouched and freeze this flow at the minimum β
+            # over its (otherwise idle) channels.
+            self.solver_fast_admits += 1
+            flow.rate = min(self.channels[name].beta for name in flow.channels)
+            self._invalidate_wakeup()
+            self._arm_wakeup()
+        else:
+            self._recompute()
 
     def _sync(self) -> None:
         """Integrate all flows' progress at their current rates."""
@@ -207,37 +275,53 @@ class Fabric:
             # this interval: flows frozen at rate 0 by progressive filling
             # occupy the channel nominally but transfer nothing, and must
             # not inflate utilisation reports.
+            channels = self.channels
             busy_channels = set()
             for flow in self._flows.values():
                 progressed = flow.rate * elapsed
                 if progressed <= 0:
                     continue
-                flow.remaining = max(0.0, flow.remaining - progressed)
+                remaining = flow.remaining - progressed
+                flow.remaining = remaining if remaining > 0.0 else 0.0
                 for name in flow.channels:
-                    self.channels[name].total_bytes += progressed
+                    channels[name].total_bytes += progressed
                     busy_channels.add(name)
             for name in busy_channels:
-                self.channels[name].busy_time += elapsed
+                channels[name].busy_time += elapsed
         self._last_sync = now
 
     def _max_min_rates(self) -> None:
-        """Progressive filling: assign each active flow its max-min rate."""
-        unfrozen = set(self._flows)
-        remaining_cap = {name: ch.beta for name, ch in self.channels.items()}
-        # channel -> unfrozen flows crossing it
-        members: dict[str, set[int]] = {}
-        for fid, flow in self._flows.items():
-            for name in flow.channels:
-                members.setdefault(name, set()).add(fid)
-        while unfrozen:
+        """Progressive filling: assign each active flow its max-min rate.
+
+        The incremental path reads the maintained membership index and
+        tracks per-channel unfrozen counts with integer decrements, so each
+        round costs O(channels + frozen flows' channels) instead of
+        rebuilding the index and intersecting sets per channel.  The shares
+        it compares are the exact same floats the full rebuild computes.
+        """
+        flows = self._flows
+        if self.full_recompute:
+            members: dict[str, dict[int, None]] = {}
+            for fid, flow in flows.items():
+                for name in flow.channels:
+                    members.setdefault(name, {})[fid] = None
+        else:
+            members = self._members
+        channels = self.channels
+        remaining_cap = {name: channels[name].beta for name in members}
+        live_count = {name: len(fids) for name, fids in members.items()}
+        self._solve_mark += 1
+        mark = self._solve_mark
+        unfrozen = len(flows)
+        while unfrozen > 0:
             # Rate increment that saturates the tightest channel.
             limit = float("inf")
             tight: list[str] = []
-            for name, fids in members.items():
-                live = fids & unfrozen
-                if not live:
+            for name, cap in remaining_cap.items():
+                live = live_count[name]
+                if live <= 0:
                     continue
-                share = remaining_cap[name] / len(live)
+                share = cap / live
                 if share < limit - 1e-18:
                     limit = share
                     tight = [name]
@@ -245,45 +329,67 @@ class Fabric:
                     tight.append(name)
             if not tight:  # pragma: no cover - defensive
                 break
-            to_freeze: set[int] = set()
+            to_freeze: list[FabricFlow] = []
             for name in tight:
-                to_freeze |= members[name] & unfrozen
-            for fid in to_freeze:
-                self._flows[fid].rate = limit
-                for name in self._flows[fid].channels:
-                    remaining_cap[name] = max(0.0, remaining_cap[name] - limit)
-            unfrozen -= to_freeze
+                for fid in members[name]:
+                    flow = flows[fid]
+                    if flow.solve_mark != mark:
+                        flow.solve_mark = mark
+                        to_freeze.append(flow)
+            for flow in to_freeze:
+                flow.rate = limit
+                for name in flow.channels:
+                    cap = remaining_cap[name] - limit
+                    remaining_cap[name] = cap if cap > 0.0 else 0.0
+                    live_count[name] -= 1
+            unfrozen -= len(to_freeze)
+
+    def _invalidate_wakeup(self) -> None:
+        """Invalidate any scheduled wakeup: bump the generation guard and
+        purge the stale heap entry (the original code left it to fire as a
+        no-op; the full-recompute debug path still does)."""
+        self._wakeup_generation += 1
+        pending = self._pending_wakeup
+        if pending is not None:
+            self._pending_wakeup = None
+            if not self.full_recompute:
+                self.engine.cancel(pending)
+
+    def _arm_wakeup(self) -> None:
+        """Schedule the next completion wakeup at the soonest flow horizon."""
+        soonest = float("inf")
+        for flow in self._flows.values():
+            if flow.rate > 0:
+                horizon = flow.remaining / flow.rate
+                if horizon < soonest:
+                    soonest = horizon
+        if soonest == float("inf"):  # pragma: no cover - defensive
+            return
+        generation = self._wakeup_generation
+        wakeup = self.engine.call_at(self.engine.now + soonest)
+        wakeup.add_callback(lambda _ev: self._wake(generation))
+        self._pending_wakeup = wakeup
 
     def _recompute(self) -> None:
-        self._wakeup_generation += 1
+        self._invalidate_wakeup()
         if not self._flows:
             return
         self.rate_recomputes += 1
         self._max_min_rates()
-        horizons = [
-            flow.remaining / flow.rate
-            for flow in self._flows.values()
-            if flow.rate > 0
-        ]
-        if not horizons:  # pragma: no cover - defensive
-            return
-        soonest = min(horizons)
-        generation = self._wakeup_generation
-        self.engine.call_at(self.engine.now + soonest).add_callback(
-            lambda _ev: self._wake(generation)
-        )
+        self._arm_wakeup()
 
     @staticmethod
     def _flow_done(flow: FabricFlow) -> bool:
-        # Size-relative epsilon: accumulated float error over many rate
-        # recomputations scales with the flow's demand.
-        return flow.remaining <= max(_EPS_BYTES, 1e-9 * flow.total_demand)
+        # Size-relative epsilon, precomputed at flow creation: accumulated
+        # float error over many rate recomputations scales with demand.
+        return flow.remaining <= flow.done_eps
 
     def _wake(self, generation: int) -> None:
         if generation != self._wakeup_generation:
             return
+        self._pending_wakeup = None
         self._sync()
-        finished = [f for f in self._flows.values() if self._flow_done(f)]
+        finished = [f for f in self._flows.values() if f.remaining <= f.done_eps]
         if not finished and self._flows:
             # Guard: if the nearest completion horizon is below the clock's
             # float resolution, time cannot advance — force-complete the
@@ -300,10 +406,28 @@ class Fabric:
                     finished = [
                         f for h, f in horizons if h <= min_h * (1 + 1e-9)
                     ]
+        # Removal is provably local when every channel of every finished
+        # flow is left with no other live flow: the survivors' progressive
+        # filling never saw those channels, so their rates are unchanged and
+        # the full solve can be skipped (the wakeup is simply re-armed).
+        local = True
         for flow in finished:
             del self._flows[flow.flow_id]
+            for name in flow.channels:
+                members = self._members.get(name)
+                if members is not None:
+                    members.pop(flow.flow_id, None)
+                    if members:
+                        local = False
+                    else:
+                        del self._members[name]
             self._finish(flow)
-        self._recompute()
+        if not self.full_recompute and finished and local and self._flows:
+            self.solver_fast_finishes += 1
+            self._invalidate_wakeup()
+            self._arm_wakeup()
+        else:
+            self._recompute()
 
     def _finish(self, flow: FabricFlow) -> None:
         now = self.engine.now
@@ -322,6 +446,14 @@ class Fabric:
         )
 
     def _update_concurrency_stats(self) -> None:
+        """Full O(flows×channels) concurrency scan.
+
+        Only used by the ``full_recompute`` debug path: the incremental
+        solver updates ``max_concurrency`` from the membership index during
+        :meth:`_admit` (O(channels-of-flow)), which provably reaches the
+        same maxima — a channel's live count only grows at admits of flows
+        crossing it.
+        """
         counts: dict[str, int] = {}
         for flow in self._flows.values():
             for name in flow.channels:
@@ -336,13 +468,23 @@ class Fabric:
         return len(self._flows)
 
     def flows_on(self, channel_name: str) -> list[FabricFlow]:
-        return [f for f in self._flows.values() if channel_name in f.channels]
+        """Live flows crossing a channel, in admit order.
+
+        Served from the maintained membership index — O(flows-on-channel)
+        instead of scanning every active flow's channel tuple.
+        """
+        members = self._members.get(channel_name)
+        if not members:
+            return []
+        return [self._flows[fid] for fid in members]
 
     def reset_stats(self) -> None:
         self.flows_admitted = 0
         self.flows_completed = 0
         self.zero_byte_copies = 0
         self.rate_recomputes = 0
+        self.solver_fast_admits = 0
+        self.solver_fast_finishes = 0
         for ch in self.channels.values():
             ch.total_bytes = 0.0
             ch.total_flows = 0
@@ -358,6 +500,9 @@ class Fabric:
             "flows_completed": self.flows_completed,
             "zero_byte_copies": self.zero_byte_copies,
             "rate_recomputes": self.rate_recomputes,
+            "solver_fast_admits": self.solver_fast_admits,
+            "solver_fast_finishes": self.solver_fast_finishes,
+            "events_cancelled": self.engine.events_cancelled,
             "active_flows": len(self._flows),
             "channels": {
                 name: {
@@ -378,4 +523,10 @@ def route_latency(fabric: Fabric, channel_names: Iterable[str]) -> float:
     return sum(fabric.channels[n].alpha for n in channel_names)
 
 
-__all__ = ["Fabric", "FabricChannel", "FabricFlow", "route_latency"]
+__all__ = [
+    "Fabric",
+    "FabricChannel",
+    "FabricFlow",
+    "route_latency",
+    "FULL_RECOMPUTE_DEFAULT",
+]

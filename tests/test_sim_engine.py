@@ -216,3 +216,72 @@ class TestDeterminism:
             return log
 
         assert build_and_run() == build_and_run()
+
+
+class TestCancellation:
+    def test_cancelled_event_never_fires(self):
+        eng = Engine()
+        fired = []
+        ev = eng.call_at(1.0)
+        ev.add_callback(lambda e: fired.append(eng.now))
+        assert eng.cancel(ev) is True
+        eng.run()
+        assert fired == []
+        assert not ev.triggered and ev.cancelled
+        assert eng.events_cancelled == 1
+
+    def test_cancelled_pop_still_advances_clock(self):
+        # lazy cancellation must be unobservable except for the skipped
+        # callback: popping a tombstone moves `now` exactly like the old
+        # generation-guarded stale wakeup did
+        eng = Engine()
+        ev = eng.call_at(2.0)
+        eng.cancel(ev)
+        eng.call_at(5.0)
+        eng.run()
+        assert eng.now == 5.0
+        assert eng.events_processed == 1  # tombstone not counted
+
+    def test_cancel_is_idempotent_and_rejects_triggered(self):
+        eng = Engine()
+        ev = eng.call_at(0.0)
+        assert eng.cancel(ev) is True
+        assert eng.cancel(ev) is False
+        done = eng.call_at(0.0)
+        eng.run()
+        assert done.triggered
+        assert eng.cancel(done) is False
+        assert eng.events_cancelled == 1
+
+    def test_succeed_after_cancel_rejected(self):
+        eng = Engine()
+        ev = eng.call_at(1.0)
+        eng.cancel(ev)
+        with pytest.raises(SimError):
+            ev.succeed()
+
+    def test_tombstone_compaction_shrinks_heap(self):
+        eng = Engine()
+        events = [eng.call_at(float(i + 1)) for i in range(200)]
+        assert eng.queued == 200
+        for ev in events[:150]:
+            eng.cancel(ev)
+        # compaction fires at the 100th cancel (>=64 tombstones and half
+        # the heap); the trailing 50 tombstones stay below the threshold
+        assert eng.heap_compactions == 1
+        assert eng.queued == 100
+        eng.run()
+        assert eng.events_processed == 50  # live events only
+        assert eng.queued == 0
+
+    def test_stats_snapshot_reports_cancellations(self):
+        eng = Engine()
+        eng.cancel(eng.call_at(1.0))
+        keep = eng.call_at(2.0)
+        snap = eng.stats_snapshot()
+        assert snap["events_cancelled"] == 1
+        assert snap["queued"] == 2  # tombstone still queued pre-compaction
+        assert snap["peak_queued"] == 2
+        eng.run()
+        assert keep.triggered
+        assert eng.stats_snapshot()["queued"] == 0
