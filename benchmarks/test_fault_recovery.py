@@ -1,0 +1,87 @@
+"""CHAOS bench — mid-transfer link-failure recovery (DESIGN.md §5d).
+
+Acceptance criteria of the fault-injection subsystem: a 256 MB dynamic
+put that loses the single NVLink direct path at 50 % of its fault-free
+duration must
+
+* deliver every byte (exact final-hop accounting from the tracer);
+* complete within ``RECOVERY_BOUND`` (1.6x) of the fault-free duration —
+  partial replanning only re-sends the *missing* bytes over survivors;
+* strictly beat the naive restart-from-scratch alternative (the sunk
+  half of the fault-free run plus the whole message over the surviving
+  paths).
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import write_result
+
+from repro.bench.baselines import dynamic_config
+from repro.bench.experiments.chaos import run_chaos
+from repro.bench.runner import get_setup
+from repro.units import MiB
+from repro.util.tables import Table
+
+RECOVERY_BOUND = 1.6
+NBYTES = 256 * MiB
+
+
+@pytest.fixture(scope="module")
+def chaos_result():
+    return run_chaos("beluga", scenario="linkdown", nbytes=NBYTES)
+
+
+@pytest.fixture(scope="module")
+def restart_reference(chaos_result):
+    """Time of the naive alternative: give up and restart on survivors."""
+    setup = get_setup("beluga")
+    env = setup.env(dynamic_config().with_(exclude_paths=("direct",)))
+    engine, ctx, _comm = env.fresh()
+    survivors_only = engine.run(until=ctx.put(0, 1, NBYTES, tag="restart"))
+    return 0.5 * chaos_result.fault_free.duration + survivors_only.duration
+
+
+def test_recovery_headline(chaos_result, restart_reference):
+    r = chaos_result
+    assert r.channel.startswith("nvl")  # the failed link is the NVLink direct
+
+    table = Table(
+        ["metric", "value"],
+        title=f"256 MB put, {r.channel} down at 50% of fault-free duration",
+    )
+    table.add(metric="fault_free_ms", value=f"{r.fault_free.duration * 1e3:.3f}")
+    table.add(metric="recovered_ms", value=f"{r.chaotic.duration * 1e3:.3f}")
+    table.add(metric="restart_ms", value=f"{restart_reference * 1e3:.3f}")
+    table.add(metric="overhead_ratio", value=f"{r.overhead_ratio:.3f}")
+    table.add(metric="retries", value=r.chaotic.retries)
+    table.add(metric="rerouted_mb", value=f"{r.chaotic.rerouted_bytes / 1e6:.1f}")
+    write_result("fault_recovery.txt", table.render() + "\n")
+
+    # Every byte landed despite the outage, via at least one failover.
+    assert r.delivered_bytes == r.nbytes
+    assert r.chaotic.retries >= 1
+    assert r.recovery["path_failovers"] >= 1
+
+    # Recovery cost bound: replanning only the missing bytes keeps the
+    # total within 1.6x of the fault-free run ...
+    assert r.overhead_ratio <= RECOVERY_BOUND
+    # ... and strictly beats restarting the whole transfer.
+    assert r.chaotic.duration < restart_reference
+
+
+def test_health_saw_the_failure(chaos_result):
+    h = chaos_result.health
+    assert h["tracked_paths"] >= 1
+    assert h["transitions"] >= 1
+    assert h["states"]["healthy"] < h["tracked_paths"]
+
+
+def test_chaos_benchmark_runtime(benchmark):
+    """Time a compact chaos run (pytest-benchmark hook)."""
+
+    def quick():
+        return run_chaos("beluga", scenario="linkdown", nbytes=64 * MiB)
+
+    result = benchmark.pedantic(quick, rounds=1, iterations=1)
+    assert result.recovered

@@ -8,8 +8,11 @@ FIG7      collective speedups (Fig. 7)
 TAB-ERR   prediction-error aggregation (§5 headline numbers)
 OBS1–5    the five §5.2 observations as quantitative checks
 DRIFT     closed-loop recovery from injected link degradation
+CHAOS     fault injection + multi-path recovery scenarios
 ========  =====================================================
 """
+
+from repro.bench.experiments.chaos import ChaosResult, run_chaos
 
 from repro.bench.experiments.fig4_theta import run_fig4
 from repro.bench.experiments.fig5_bw import run_fig5
@@ -35,4 +38,6 @@ __all__ = [
     "check_observations",
     "run_drift_recovery",
     "DriftRecoveryResult",
+    "run_chaos",
+    "ChaosResult",
 ]

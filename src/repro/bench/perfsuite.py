@@ -12,6 +12,9 @@ machine-readable ``BENCH_sim.json``:
   and once warm + parallel, measuring the end-to-end wall-clock win of the
   calibration cache and the ``--jobs`` fan-out.
 * **planner** — cached Algorithm-1 lookups/sec (the per-put runtime cost).
+* **fault_recovery** — the CHAOS headline: simulated recovery time of a
+  mid-transfer LinkDown vs the fault-free run and vs restarting the whole
+  transfer over the surviving paths.
 
 Usage::
 
@@ -250,6 +253,42 @@ def bench_planner(*, quick: bool = False, repeats: int = 3) -> dict:
 # Suite driver
 # ----------------------------------------------------------------------
 
+def bench_fault_recovery(*, quick: bool = False) -> dict:
+    """CHAOS series: mid-transfer LinkDown recovery vs restart-from-scratch.
+
+    All headline numbers are *simulated* seconds (deterministic, so the
+    committed series is reproducible bit-for-bit); only ``wall_s`` times
+    the harness itself.  ``restart_reference_s`` models the naive
+    alternative to partial-replan recovery: the sunk half of the fault-free
+    transfer plus the whole message re-sent over the surviving paths.
+    """
+    from repro.bench.baselines import dynamic_config
+    from repro.bench.experiments.chaos import run_chaos
+    from repro.bench.runner import get_setup
+
+    nbytes = (64 if quick else 256) * MiB
+    t0 = time.perf_counter()
+    r = run_chaos("beluga", scenario="linkdown", nbytes=nbytes)
+    setup = get_setup("beluga")
+    env = setup.env(dynamic_config().with_(exclude_paths=("direct",)))
+    engine, ctx, _comm = env.fresh()
+    survivors_only = engine.run(until=ctx.put(0, 1, nbytes, tag="restart"))
+    restart = 0.5 * r.fault_free.duration + survivors_only.duration
+    return {
+        "nbytes": nbytes,
+        "channel": r.channel,
+        "fault_free_s": r.fault_free.duration,
+        "recovered_s": r.chaotic.duration,
+        "restart_reference_s": restart,
+        "overhead_ratio": r.overhead_ratio,
+        "recovery_vs_restart": r.chaotic.duration / restart,
+        "retries": r.chaotic.retries,
+        "rerouted_bytes": r.chaotic.rerouted_bytes,
+        "delivered_ok": r.delivered_bytes == r.nbytes,
+        "wall_s": time.perf_counter() - t0,
+    }
+
+
 def run_suite(*, quick: bool = False, jobs: int | None = None) -> dict:
     return {
         "version": PERF_SUITE_VERSION,
@@ -257,6 +296,7 @@ def run_suite(*, quick: bool = False, jobs: int | None = None) -> dict:
         "solver": bench_solver(quick=quick),
         "fig5": bench_fig5(quick=quick, jobs=jobs),
         "planner": bench_planner(quick=quick),
+        "fault_recovery": bench_fault_recovery(quick=quick),
     }
 
 

@@ -15,6 +15,7 @@ Usage::
     python -m repro.cli trace -o trace.json  # Chrome-trace timeline export
     python -m repro.cli drift                # closed- vs open-loop recovery
     python -m repro.cli critical-path        # per-transfer bottleneck report
+    python -m repro.cli chaos                # fault injection recovery report
 """
 
 from __future__ import annotations
@@ -37,6 +38,7 @@ from repro.bench.experiments import (
 from repro.bench.baselines import dynamic_config
 from repro.bench.experiments.concurrent_pairs import run_concurrent_pairs
 from repro.bench.experiments.fig7_collectives import collective_sizes
+from repro.bench.experiments.chaos import SCENARIOS, run_chaos
 from repro.bench.experiments.drift_recovery import run_drift_recovery
 from repro.bench.omb import osu_bw
 from repro.bench.parallel import default_jobs
@@ -48,7 +50,7 @@ from repro.bench.runner import (
     set_cal_cache_dir,
 )
 from repro.obs import CriticalPathAnalyzer, chrome_trace
-from repro.obs.report import critical_path_report, drift_report
+from repro.obs.report import chaos_report, critical_path_report, drift_report
 from repro.units import MiB, parse_size
 
 
@@ -313,6 +315,44 @@ def cmd_drift(args):
     )
 
 
+def cmd_chaos(args):
+    """Fault-injection scenarios: does the put recover, and at what cost?"""
+    system = _systems(args)[0]
+    setup = get_setup(system)
+    src, dst = _gpu_pair(args, setup)
+    scenarios = [args.scenario] if args.scenario else list(SCENARIOS)
+    nbytes = _nbytes(args, default=16 * MiB if args.quick else 64 * MiB)
+    results = []
+    for scenario in scenarios:
+        result = run_chaos(
+            system,
+            scenario=scenario,
+            nbytes=nbytes,
+            seed=args.seed,
+            src=src,
+            dst=dst,
+            keep_context=True,
+        )
+        results.append(result)
+        if args.dump:
+            ctx = result._context
+            prefix = (
+                f"{args.dump}.{scenario}" if len(scenarios) > 1 else args.dump
+            )
+            for path in dump_artifacts(prefix, ctx):
+                print(f"wrote {path}", file=sys.stderr)
+    print(
+        f"# chaos: {system} GPU{src}->GPU{dst} n={nbytes} "
+        f"seed={args.seed} scenarios={','.join(scenarios)}"
+    )
+    text = chaos_report(results)
+    print(text)
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+
+
 def cmd_critical_path(args):
     """Per-transfer bottleneck/slack attribution of one instrumented run."""
     system = _systems(args)[0]
@@ -331,6 +371,7 @@ COMMANDS = {
     "stats": cmd_stats,
     "trace": cmd_trace,
     "drift": cmd_drift,
+    "chaos": cmd_chaos,
     "critical-path": cmd_critical_path,
     "conc": cmd_conc,
     "fig4": cmd_fig4,
@@ -368,6 +409,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--dst", type=int, help="destination GPU id for stats/trace/drift (default: 1)"
+    )
+    parser.add_argument(
+        "--scenario",
+        choices=["linkdown", "flap", "stall"],
+        help="chaos: run only this fault scenario (default: all three)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="chaos: fault-schedule seed (flap hold times; default: 0)",
     )
     parser.add_argument(
         "--dump",

@@ -371,6 +371,25 @@ class PathPlanner:
         )
 
     # ------------------------------------------------------------------
+    def invalidate_path(self, src: int, dst: int, path_id: str) -> int:
+        """Drop cached plans for a pair that route bytes over ``path_id``.
+
+        Called when the path-health registry quarantines a path: cached
+        plans embedding it would keep steering bytes onto a dead link even
+        though new planning excludes it (exclusions are part of the cache
+        key, so only *stale* entries need dropping).  Returns the number of
+        plans invalidated.
+        """
+        return self.cache.invalidate(
+            lambda key, plan: plan.src == src
+            and plan.dst == dst
+            and any(
+                a.path.path_id == path_id and a.nbytes > 0
+                for a in plan.assignments
+            )
+        )
+
+    # ------------------------------------------------------------------
     def predict_time(self, src: int, dst: int, nbytes: int, **kwargs) -> float:
         """Model-predicted completion time of the optimal configuration."""
         return self.plan(src, dst, nbytes, **kwargs).predicted_time

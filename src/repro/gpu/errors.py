@@ -1,6 +1,16 @@
-"""Error types of the simulated GPU runtime."""
+"""Error taxonomy of the simulated GPU runtime and transport.
+
+Failure propagation spans layers: the fabric raises
+:class:`~repro.sim.faults.LinkFailure` into flows killed by a channel
+outage (re-exported here so transport code has one import site), deadline
+watchdogs raise :class:`TransferTimeout` into paths that miss their
+predicted completion by too much, and the transport raises
+:class:`PathUnavailable` once recovery runs out of surviving paths.
+"""
 
 from __future__ import annotations
+
+from repro.sim.faults import LinkFailure
 
 
 class GpuError(RuntimeError):
@@ -15,4 +25,43 @@ class StreamError(GpuError):
     """Raised for illegal stream operations (e.g. use after destroy)."""
 
 
-__all__ = ["GpuError", "InvalidDevice", "StreamError"]
+class TransferTimeout(GpuError):
+    """A path missed its deadline (predicted T_i x slack factor)."""
+
+    def __init__(self, path_id: str, deadline: float, message: str | None = None) -> None:
+        self.path_id = path_id
+        self.deadline = deadline
+        super().__init__(
+            message
+            or f"path {path_id!r} missed its deadline of {deadline:.6g}s"
+        )
+
+
+class PathUnavailable(GpuError):
+    """No surviving path can carry the transfer (recovery exhausted)."""
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        message: str | None = None,
+        *,
+        failed: tuple[str, ...] = (),
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.failed = failed
+        detail = f" (failed paths: {', '.join(failed)})" if failed else ""
+        super().__init__(
+            message or f"no usable path from GPU{src} to GPU{dst}{detail}"
+        )
+
+
+__all__ = [
+    "GpuError",
+    "InvalidDevice",
+    "StreamError",
+    "LinkFailure",
+    "TransferTimeout",
+    "PathUnavailable",
+]

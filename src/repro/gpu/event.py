@@ -50,7 +50,18 @@ class GpuEvent:
             occurred.succeed(None)
             yield from ()  # marker op completes instantly in stream order
 
-        stream.enqueue(marker, label=f"record:{self.name}")
+        marker_done = stream.enqueue(marker, label=f"record:{self.name}")
+        # If the stream fails before reaching the marker (poisoned by an
+        # upstream copy failure), the marker body never runs and the event
+        # would never occur — cross-stream waiters would hang forever.
+        # Propagate the failure into the occurrence instead.
+        marker_done.add_callback(
+            lambda ev: (
+                occurred.fail(ev._exception)
+                if not ev.ok and not occurred.triggered
+                else None
+            )
+        )
         return self
 
     def wait(self) -> Event:

@@ -65,6 +65,62 @@ def drift_report(
     return "\n".join(lines)
 
 
+def chaos_report(results) -> str:
+    """Recovery summary for one or more chaos scenarios.
+
+    ``results`` is an iterable of
+    :class:`~repro.bench.experiments.chaos.ChaosResult`.  Three blocks: the
+    per-scenario recovery table (fault-free vs chaotic duration, retries,
+    re-routed bytes), the injected fault windows, and the health-registry
+    state-machine traffic.
+    """
+    results = list(results)
+    table = Table(
+        ["scenario", "channel", "t0_ms", "t_chaos_ms", "overhead",
+         "retries", "failovers", "rerouted_mb", "delivered"],
+        title="chaos recovery (overhead = chaotic / fault-free duration)",
+    )
+    for r in results:
+        table.add(
+            scenario=r.scenario,
+            channel=r.channel,
+            t0_ms=f"{r.fault_free.duration * 1e3:.3f}",
+            t_chaos_ms=f"{r.chaotic.duration * 1e3:.3f}",
+            overhead=f"{r.overhead_ratio:.2f}x",
+            retries=r.chaotic.retries,
+            failovers=r.recovery["path_failovers"],
+            rerouted_mb=f"{r.chaotic.rerouted_bytes / 1e6:.1f}",
+            delivered="ok" if r.delivered_bytes == r.nbytes else (
+                f"SHORT {r.delivered_bytes}/{r.nbytes}"
+            ),
+        )
+    lines = [table.render(), ""]
+
+    windows = Table(
+        ["scenario", "kind", "channel", "start_ms", "end_ms"],
+        title="injected fault windows",
+    )
+    for r in results:
+        for w in r.windows:
+            windows.add(
+                scenario=r.scenario,
+                kind=w.kind,
+                channel=w.channel,
+                start_ms=f"{w.start * 1e3:.3f}",
+                end_ms=f"{w.end * 1e3:.3f}",
+            )
+    lines.append(windows.render())
+
+    for r in results:
+        h = r.health
+        lines.append(
+            f"{r.scenario}: health tracked={h['tracked_paths']} "
+            f"states={h['states']} quarantines={h['quarantines']} "
+            f"probes={h['probes']} readmissions={h['readmissions']}"
+        )
+    return "\n".join(lines)
+
+
 def critical_path_report(
     analyzer: "CriticalPathAnalyzer", *, limit: int = 20
 ) -> str:
@@ -100,4 +156,4 @@ def critical_path_report(
     return "\n".join(lines)
 
 
-__all__ = ["drift_report", "critical_path_report"]
+__all__ = ["drift_report", "chaos_report", "critical_path_report"]

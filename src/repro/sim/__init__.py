@@ -20,6 +20,15 @@ from repro.sim.engine import (
     Timeout,
 )
 from repro.sim.fabric import Fabric, FabricChannel, FabricFlow
+from repro.sim.faults import (
+    FaultSchedule,
+    FaultWindow,
+    FlappingLink,
+    LinkDown,
+    LinkFailure,
+    StallInjector,
+    record_fault_spans,
+)
 from repro.sim.link import Channel, DuplexMode, LinkFlow, TransferResult
 from repro.sim.resources import Semaphore, Store
 from repro.sim.trace import TraceRecord, Tracer
@@ -35,6 +44,13 @@ __all__ = [
     "Fabric",
     "FabricChannel",
     "FabricFlow",
+    "LinkFailure",
+    "LinkDown",
+    "FlappingLink",
+    "StallInjector",
+    "FaultSchedule",
+    "FaultWindow",
+    "record_fault_spans",
     "TransferResult",
     "Channel",
     "DuplexMode",

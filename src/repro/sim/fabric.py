@@ -40,6 +40,7 @@ from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 
 from repro.sim.engine import Engine, Event
+from repro.sim.faults import LinkFailure
 from repro.sim.link import TransferResult
 from repro.sim.trace import Tracer
 
@@ -118,6 +119,13 @@ class Fabric:
         # on admit/finish; keys whose membership empties are removed.
         self._members: dict[str, dict[int, None]] = {}
         self._next_flow_id = 0
+        # Flows issued (latency phase) but not yet admitted to the solver,
+        # so aborts can reach copies still in their startup-latency window.
+        self._issued: dict[int, FabricFlow] = {}
+        # Fault state (see repro.sim.faults): channels currently hard-down
+        # and channels whose flows are frozen at zero progress.
+        self._down: set[str] = set()
+        self._stalled: set[str] = set()
         self._last_sync = 0.0
         self._wakeup_generation = 0
         self._solve_mark = 0
@@ -128,10 +136,13 @@ class Fabric:
         # run-level counters (always on: one int add per flow / recompute)
         self.flows_admitted = 0
         self.flows_completed = 0
+        self.flows_failed = 0
         self.zero_byte_copies = 0
         self.rate_recomputes = 0
         self.solver_fast_admits = 0
         self.solver_fast_finishes = 0
+        self.channel_failures = 0
+        self.channel_stalls = 0
 
     # ------------------------------------------------------------------
     # Topology construction
@@ -218,6 +229,7 @@ class Fabric:
             done_eps=max(_EPS_BYTES, 1e-9 * demand),
         )
         self._next_flow_id += 1
+        self._issued[flow.flow_id] = flow
         if nbytes == 0:
             self.zero_byte_copies += 1
             self.engine.call_at(start + latency).add_callback(
@@ -230,9 +242,129 @@ class Fabric:
         return done
 
     # ------------------------------------------------------------------
+    # Fault injection (see repro.sim.faults)
+    # ------------------------------------------------------------------
+    def is_down(self, name: str) -> bool:
+        return name in self._down
+
+    def is_stalled(self, name: str) -> bool:
+        return name in self._stalled
+
+    def fail_channel(self, name: str) -> int:
+        """Hard-fail a channel: mark it down and kill every crossing flow.
+
+        Live flows on the channel fail their events with
+        :class:`~repro.sim.faults.LinkFailure` (synchronously — waiters
+        resume within this call); copies reaching :meth:`_admit` while the
+        channel stays down fail the same way.  Flows still in their
+        startup-latency window are *not* killed here: they fail at admit if
+        the channel is still down then (a restored link lets them through,
+        matching a retrain completing before the DMA engages).  Returns the
+        number of flows killed.
+        """
+        if name not in self.channels:
+            raise KeyError(name)
+        if name in self._down:
+            return 0
+        self._down.add(name)
+        self.channel_failures += 1
+        members = self._members.get(name)
+        victims = [self._flows[fid] for fid in members] if members else []
+        return self._fail_flows(
+            victims,
+            lambda f: LinkFailure(name, tag=f.tag, nbytes=f.nbytes),
+        )
+
+    def restore_channel(self, name: str) -> None:
+        """Bring a downed channel back up (no-op if it is not down)."""
+        if name not in self.channels:
+            raise KeyError(name)
+        self._down.discard(name)
+
+    def stall_channel(self, name: str) -> None:
+        """Freeze every flow crossing the channel at zero progress."""
+        if name not in self.channels:
+            raise KeyError(name)
+        if name in self._stalled:
+            return
+        self._sync()
+        self._stalled.add(name)
+        self.channel_stalls += 1
+        self._recompute()
+
+    def unstall_channel(self, name: str) -> None:
+        if name not in self.channels:
+            raise KeyError(name)
+        if name not in self._stalled:
+            return
+        self._sync()
+        self._stalled.discard(name)
+        self._recompute()
+
+    def fail_flows_matching(
+        self,
+        predicate: Callable[[FabricFlow], bool],
+        make_exc: Callable[[FabricFlow], BaseException],
+    ) -> int:
+        """Abort live flows (admitted *or* still in the latency phase).
+
+        Used by deadline watchdogs to kill a path's in-flight copies by tag
+        prefix.  Returns the number of flows failed.
+        """
+        admitted = [f for f in self._flows.values() if predicate(f)]
+        latent = [f for f in self._issued.values() if predicate(f)]
+        n = self._fail_flows(admitted, make_exc)
+        for flow in latent:
+            if not flow.event.triggered:
+                self.flows_failed += 1
+                flow.event.fail(make_exc(flow))
+                n += 1
+        return n
+
+    def _fail_flows(
+        self,
+        victims: list[FabricFlow],
+        make_exc: Callable[[FabricFlow], BaseException],
+    ) -> int:
+        """Remove admitted flows from the solver, then fail their events.
+
+        State is fully consistent (rates recomputed for survivors) before
+        any event fails, because waiters resume synchronously and may issue
+        new copies from inside their failure handlers.
+        """
+        if not victims:
+            return 0
+        self._sync()
+        for flow in victims:
+            self._flows.pop(flow.flow_id, None)
+            for name in flow.channels:
+                members = self._members.get(name)
+                if members is not None:
+                    members.pop(flow.flow_id, None)
+                    if not members:
+                        del self._members[name]
+        self._recompute()
+        for flow in victims:
+            self.flows_failed += 1
+            if not flow.event.triggered:
+                flow.event.fail(make_exc(flow))
+        return len(victims)
+
+    # ------------------------------------------------------------------
     # Fluid solver
     # ------------------------------------------------------------------
     def _admit(self, flow: FabricFlow) -> None:
+        self._issued.pop(flow.flow_id, None)
+        if flow.event.triggered:
+            return  # aborted while still in the latency phase
+        if self._down:
+            for name in flow.channels:
+                if name in self._down:
+                    self.flows_failed += 1
+                    flow.event.fail(
+                        LinkFailure(name, tag=flow.tag, nbytes=flow.nbytes)
+                    )
+                    return
         self._sync()
         flow.admitted = True
         self.flows_admitted += 1
@@ -260,7 +392,12 @@ class Fabric:
             # else's rate untouched and freeze this flow at the minimum β
             # over its (otherwise idle) channels.
             self.solver_fast_admits += 1
-            flow.rate = min(self.channels[name].beta for name in flow.channels)
+            if self._stalled and any(n in self._stalled for n in flow.channels):
+                flow.rate = 0.0
+            else:
+                flow.rate = min(
+                    self.channels[name].beta for name in flow.channels
+                )
             self._invalidate_wakeup()
             self._arm_wakeup()
         else:
@@ -313,6 +450,24 @@ class Fabric:
         self._solve_mark += 1
         mark = self._solve_mark
         unfrozen = len(flows)
+        if self._stalled:
+            # Flows crossing a stalled channel are pre-frozen at rate 0 and
+            # release their claim on every channel they cross: a stalled
+            # flow occupies the wire nominally but moves nothing, so the
+            # survivors' progressive filling must not see it.
+            for name in self._stalled:
+                fids = members.get(name)
+                if not fids:
+                    continue
+                for fid in fids:
+                    flow = flows[fid]
+                    if flow.solve_mark == mark:
+                        continue
+                    flow.solve_mark = mark
+                    flow.rate = 0.0
+                    for ch in flow.channels:
+                        live_count[ch] -= 1
+                    unfrozen -= 1
         while unfrozen > 0:
             # Rate increment that saturates the tightest channel.
             limit = float("inf")
@@ -363,8 +518,8 @@ class Fabric:
                 horizon = flow.remaining / flow.rate
                 if horizon < soonest:
                     soonest = horizon
-        if soonest == float("inf"):  # pragma: no cover - defensive
-            return
+        if soonest == float("inf"):
+            return  # every live flow is stalled: nothing to wake for
         generation = self._wakeup_generation
         wakeup = self.engine.call_at(self.engine.now + soonest)
         wakeup.add_callback(lambda _ev: self._wake(generation))
@@ -430,6 +585,9 @@ class Fabric:
             self._recompute()
 
     def _finish(self, flow: FabricFlow) -> None:
+        self._issued.pop(flow.flow_id, None)
+        if flow.event.triggered:
+            return  # zero-byte copy aborted during its latency window
         now = self.engine.now
         self.flows_completed += 1
         if flow.channels:
@@ -481,10 +639,13 @@ class Fabric:
     def reset_stats(self) -> None:
         self.flows_admitted = 0
         self.flows_completed = 0
+        self.flows_failed = 0
         self.zero_byte_copies = 0
         self.rate_recomputes = 0
         self.solver_fast_admits = 0
         self.solver_fast_finishes = 0
+        self.channel_failures = 0
+        self.channel_stalls = 0
         for ch in self.channels.values():
             ch.total_bytes = 0.0
             ch.total_flows = 0
@@ -498,10 +659,15 @@ class Fabric:
         return {
             "flows_admitted": self.flows_admitted,
             "flows_completed": self.flows_completed,
+            "flows_failed": self.flows_failed,
             "zero_byte_copies": self.zero_byte_copies,
             "rate_recomputes": self.rate_recomputes,
             "solver_fast_admits": self.solver_fast_admits,
             "solver_fast_finishes": self.solver_fast_finishes,
+            "channel_failures": self.channel_failures,
+            "channel_stalls": self.channel_stalls,
+            "channels_down": sorted(self._down),
+            "channels_stalled": sorted(self._stalled),
             "events_cancelled": self.engine.events_cancelled,
             "active_flows": len(self._flows),
             "channels": {

@@ -13,9 +13,21 @@
 * :mod:`repro.ucx.endpoint` — endpoints issuing one-sided PUTs.
 """
 
+from repro.gpu.errors import LinkFailure, PathUnavailable, TransferTimeout
 from repro.ucx.context import UCXContext
 from repro.ucx.endpoint import Endpoint
+from repro.ucx.pipeline import PathFault, SettledExecution
 from repro.ucx.registry import ModelRegistry
 from repro.ucx.tuning import TransportConfig
 
-__all__ = ["UCXContext", "Endpoint", "ModelRegistry", "TransportConfig"]
+__all__ = [
+    "UCXContext",
+    "Endpoint",
+    "ModelRegistry",
+    "TransportConfig",
+    "LinkFailure",
+    "TransferTimeout",
+    "PathUnavailable",
+    "PathFault",
+    "SettledExecution",
+]

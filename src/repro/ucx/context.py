@@ -10,6 +10,7 @@ from __future__ import annotations
 from collections.abc import Callable
 
 from repro.core.params import ParameterStore
+from repro.core.path_health import PathHealthRegistry
 from repro.core.planner import PathPlanner
 from repro.gpu.runtime import GPURuntime
 from repro.obs import DriftController, Observability
@@ -60,6 +61,9 @@ class UCXContext:
             obs=obs,
         )
         self.pipeline = PipelineEngine(self.runtime, obs=obs)
+        # Path circuit breakers: quarantined paths are excluded from
+        # planning and their cached plans dropped (see cuda_ipc recovery).
+        self.health = PathHealthRegistry(on_quarantine=self._on_quarantine)
         self.cuda_ipc = CudaIpcModule(self)
         self._endpoints: dict[tuple[int, int], Endpoint] = {}
         if obs is not None:
@@ -75,6 +79,14 @@ class UCXContext:
                     metrics=obs.metrics,
                 )
             self._register_collectors(obs)
+
+    def _on_quarantine(self, src: int, dst: int, path_id: str) -> None:
+        """Health demoted a path: purge cached plans still routing over it."""
+        dropped = self.planner.invalidate_path(src, dst, path_id)
+        if self.obs is not None:
+            m = self.obs.metrics
+            m.counter("health.quarantines").inc()
+            m.counter("health.plans_invalidated").inc(dropped)
 
     def _register_collectors(self, obs: Observability) -> None:
         """Wire every component's pull-stats into the metrics registry."""
@@ -92,6 +104,7 @@ class UCXContext:
             },
         )
         m.register_collector("model_error", obs.errors.summary)
+        m.register_collector("path_health", self.health.snapshot)
         if obs.drift is not None:
             m.register_collector("drift", obs.drift.summary)
 

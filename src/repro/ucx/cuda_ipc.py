@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.chunking import effective_params
 from repro.core.planner import PathAssignment, TransferPlan
+from repro.gpu.errors import PathUnavailable, TransferTimeout
 from repro.sim.engine import Event
 from repro.topology.routing import enumerate_paths
 
@@ -37,6 +38,10 @@ class PutResult:
     mode: str  # "dynamic" | "static" | "single"
     start: float
     end: float
+    #: Replans forced by path failures/timeouts (0 on the happy path).
+    retries: int = 0
+    #: Bytes that had to be re-routed over surviving paths.
+    rerouted_bytes: int = 0
 
     @property
     def duration(self) -> float:
@@ -44,6 +49,8 @@ class PutResult:
 
     @property
     def bandwidth(self) -> float:
+        """Mean bandwidth; defined as 0.0 for zero-byte and zero-duration
+        transfers (a 0-byte put completes in pure overhead time)."""
         return self.nbytes / self.duration if self.duration > 0 else 0.0
 
 
@@ -57,6 +64,12 @@ class CudaIpcModule:
         self.bytes_put = 0
         self.protocol_counts = {"eager": 0, "rndv": 0}
         self.mode_counts = {"dynamic": 0, "static": 0, "single": 0}
+        # Recovery accounting (see DESIGN.md §5d)
+        self.puts_recovered = 0
+        self.puts_failed = 0
+        self.path_failovers = 0
+        self.retries_total = 0
+        self.rerouted_bytes = 0
 
     # ------------------------------------------------------------------
     def put(self, src: int, dst: int, nbytes: int, *, tag: str = "") -> Event:
@@ -77,6 +90,37 @@ class CudaIpcModule:
         # One label names the put span AND prefixes its per-path pipeline
         # spans/copy tags, so the critical-path analyzer can join them.
         label = tag or f"put{seq}"
+
+        if nbytes == 0:
+            # Zero-byte PUT: a transport-level no-op.  Completes at the
+            # current time with no planning, pipeline work, or chunk lists
+            # (the chunker rejects 0-byte splits); bandwidth is 0.0.
+            self.puts_completed += 1
+            self.protocol_counts["eager"] += 1
+            self.mode_counts["single"] += 1
+            if ctx.obs is not None:
+                ctx.obs.spans.record(
+                    label,
+                    "put",
+                    f"put:{src}->{dst}",
+                    start,
+                    start,
+                    seq=seq,
+                    src=src,
+                    dst=dst,
+                    nbytes=0,
+                    protocol="eager",
+                    mode="single",
+                )
+            return PutResult(
+                src=src,
+                dst=dst,
+                nbytes=0,
+                protocol="eager",
+                mode="single",
+                start=start,
+                end=start,
+            )
 
         # Per-request software cost + (cached) IPC handle translation.
         if cfg.request_overhead > 0:
@@ -101,23 +145,104 @@ class CudaIpcModule:
                 plan = self._static_plan(src, dst, nbytes)
                 mode = "static"
             else:
-                plan = ctx.planner.plan(
+                plan = self._dynamic_plan(src, dst, nbytes)
+                mode = "dynamic"
+
+        # ------------------------------------------------------------------
+        # Execute, recovering from path failures/timeouts: each round runs
+        # the current plan to a settled outcome; failed paths' missing bytes
+        # are replanned over the surviving paths (bounded retries with
+        # exponential backoff — a flapping link needs the pause to settle).
+        # With recovery disabled by config, the legacy fail-fast path runs
+        # with zero extra machinery (timeline-invariance escape hatch).
+        # ------------------------------------------------------------------
+        resilient = cfg.max_path_retries > 0 or cfg.deadline_factor is not None
+        health = ctx.health
+        obs = ctx.obs
+        exec_start = engine.now
+        retries = 0
+        delivered = 0
+        rerouted = 0
+        fault_time: float | None = None
+        failed_paths: set[str] = set()
+        current = plan
+        attempt_label = label
+        while True:
+            if resilient:
+                settled = yield ctx.pipeline.execute_settled(
+                    current, tag=attempt_label, deadline_factor=cfg.deadline_factor
+                )
+                execs, faults = settled.executions, settled.faults
+            else:
+                execs = yield ctx.pipeline.execute(current, tag=attempt_label)
+                faults = ()
+            delivered += sum(e.nbytes for e in execs)
+            delivered += sum(f.delivered for f in faults)
+            if health is not None:
+                now = engine.now
+                for e in execs:
+                    health.record_success(src, dst, e.path_id, now=now)
+                for f in faults:
+                    health.record_failure(src, dst, f.path_id, now=now)
+            if not faults:
+                break
+            if fault_time is None:
+                fault_time = min(f.end for f in faults)
+            failed_paths.update(f.path_id for f in faults)
+            self.path_failovers += len(faults)
+            if obs is not None:
+                m = obs.metrics
+                m.counter("recovery.failovers").inc(len(faults))
+                for f in faults:
+                    if isinstance(f.error, TransferTimeout):
+                        m.counter("recovery.timeouts").inc()
+                    else:
+                        m.counter("recovery.link_failures").inc()
+            remaining = nbytes - delivered
+            if remaining <= 0:
+                break  # every byte landed despite the late error
+            if retries >= cfg.max_path_retries:
+                self.puts_failed += 1
+                if obs is not None:
+                    obs.metrics.counter("recovery.puts_failed").inc()
+                raise PathUnavailable(
                     src,
                     dst,
-                    nbytes,
-                    include_host=cfg.include_host,
-                    max_gpu_staged=cfg.max_gpu_staged,
-                    exclude=cfg.exclude_paths,
+                    failed=tuple(sorted(failed_paths)),
+                    message=(
+                        f"put {label!r}: {remaining} of {nbytes} bytes "
+                        f"undeliverable after {retries} retries "
+                        f"(failed paths: {', '.join(sorted(failed_paths))})"
+                    ),
                 )
-                mode = "dynamic"
-        exec_start = engine.now
-        yield ctx.pipeline.execute(plan, tag=label)
+            retries += 1
+            self.retries_total += 1
+            backoff = cfg.retry_backoff * (2 ** (retries - 1))
+            if backoff > 0:
+                yield engine.timeout(backoff)
+            current = self._replan(src, dst, remaining, failed_paths)
+            if current is None:
+                self.puts_failed += 1
+                if obs is not None:
+                    obs.metrics.counter("recovery.puts_failed").inc()
+                raise PathUnavailable(
+                    src, dst, failed=tuple(sorted(failed_paths))
+                )
+            rerouted += remaining
+            self.rerouted_bytes += remaining
+            attempt_label = f"{label}:r{retries}"
+            if obs is not None:
+                m = obs.metrics
+                m.counter("recovery.retries").inc()
+                m.counter("recovery.retried_bytes").inc(remaining)
+
         end = engine.now
         self.puts_completed += 1
         self.bytes_put += nbytes
         self.protocol_counts[protocol] += 1
         self.mode_counts[mode] += 1
-        obs = ctx.obs
+        if retries > 0:
+            self.puts_recovered += 1
         if obs is not None:
             obs.spans.record(
                 label,
@@ -133,12 +258,28 @@ class CudaIpcModule:
                 mode=mode,
                 paths=plan.num_active_paths,
                 predicted=plan.predicted_time,
+                retries=retries,
             )
             obs.metrics.histogram("cuda_ipc.put_nbytes").observe(nbytes)
+            if retries > 0:
+                # Per-put recovery overhead: first fault -> completion.
+                obs.metrics.counter("recovery.puts_recovered").inc()
+                obs.spans.record(
+                    f"{label}:recovery",
+                    "recovery",
+                    f"put:{src}->{dst}",
+                    fault_time if fault_time is not None else exec_start,
+                    end,
+                    retries=retries,
+                    rerouted_bytes=rerouted,
+                    failed_paths=sorted(failed_paths),
+                )
             # Closed-loop feedback: only dynamic rndv plans carry a real
-            # model prediction (single/static use placeholder times), and
-            # the prediction covers the pipeline execution interval only.
-            if mode == "dynamic" and protocol == "rndv":
+            # model prediction (single/static use placeholder times), the
+            # prediction covers the pipeline execution interval only, and
+            # fault-lengthened intervals would poison the recalibrator —
+            # recovered puts are excluded.
+            if mode == "dynamic" and protocol == "rndv" and retries == 0:
                 obs.feedback(plan, end - exec_start, now=end)
         return PutResult(
             src=src,
@@ -148,6 +289,8 @@ class CudaIpcModule:
             mode=mode,
             start=start,
             end=end,
+            retries=retries,
+            rerouted_bytes=rerouted,
         )
 
     # ------------------------------------------------------------------
@@ -159,7 +302,87 @@ class CudaIpcModule:
             "bytes_put": self.bytes_put,
             "protocols": dict(self.protocol_counts),
             "modes": dict(self.mode_counts),
+            "recovery": {
+                "puts_recovered": self.puts_recovered,
+                "puts_failed": self.puts_failed,
+                "path_failovers": self.path_failovers,
+                "retries": self.retries_total,
+                "rerouted_bytes": self.rerouted_bytes,
+            },
         }
+
+    # ------------------------------------------------------------------
+    def _dynamic_plan(self, src: int, dst: int, nbytes: int) -> TransferPlan:
+        """Planner invocation with quarantined paths excluded.
+
+        Exclusions are part of the planner's cache key, so health-driven
+        narrowing never serves a stale cached plan.  If quarantining left
+        no candidate, fall back to the configured set — a quarantined path
+        is still a better bet than failing outright.
+        """
+        ctx = self.context
+        cfg = ctx.config
+        exclude = cfg.exclude_paths
+        health = ctx.health
+        if health is not None:
+            quarantined = health.excluded(src, dst, now=ctx.engine.now)
+            if quarantined:
+                merged = tuple(sorted(set(exclude) | set(quarantined)))
+                try:
+                    return ctx.planner.plan(
+                        src,
+                        dst,
+                        nbytes,
+                        include_host=cfg.include_host,
+                        max_gpu_staged=cfg.max_gpu_staged,
+                        exclude=merged,
+                    )
+                except ValueError:
+                    pass  # everything quarantined: use the configured set
+        return ctx.planner.plan(
+            src,
+            dst,
+            nbytes,
+            include_host=cfg.include_host,
+            max_gpu_staged=cfg.max_gpu_staged,
+            exclude=exclude,
+        )
+
+    def _replan(
+        self, src: int, dst: int, remaining: int, failed_paths: set[str]
+    ) -> TransferPlan | None:
+        """Plan the missing bytes over paths that are still believed alive.
+
+        Recovery widens the candidate set to include host staging even when
+        the config disabled it (graceful degradation beats an exclusion
+        preference), but config-excluded paths stay excluded.  If failures
+        plus quarantines rule out everything, the per-put failure memory is
+        forgiven and the full set retried — a flapping link may be back up.
+        Returns ``None`` only when no candidate path exists at all.
+        """
+        ctx = self.context
+        cfg = ctx.config
+        base = set(cfg.exclude_paths)
+        health = ctx.health
+        if health is not None:
+            base |= set(health.excluded(src, dst, now=ctx.engine.now))
+        for exclude in (base | failed_paths, base, set(cfg.exclude_paths)):
+            try:
+                paths = enumerate_paths(
+                    ctx.topology,
+                    src,
+                    dst,
+                    include_host=True,
+                    max_gpu_staged=cfg.max_gpu_staged,
+                    exclude=tuple(sorted(exclude)),
+                )
+            except ValueError:
+                continue
+            # Paths we are about to retry despite an earlier failure are
+            # forgiven, so a later fault on them counts as fresh.
+            failed_paths -= {p.path_id for p in paths}
+            return ctx.planner.plan_for_paths(src, dst, remaining, paths)
+        return None
 
     # ------------------------------------------------------------------
     def _paths(self, src: int, dst: int, *, single: bool = False):

@@ -17,10 +17,11 @@ streams.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.core.planner import PathAssignment, TransferPlan
+from repro.gpu.errors import LinkFailure, TransferTimeout
 from repro.gpu.runtime import GPURuntime
 from repro.gpu.stream import Stream
 from repro.sim.engine import Engine, Event
@@ -44,6 +45,50 @@ class PathExecution:
         return self.end - self.start
 
 
+@dataclass
+class _PathProgress:
+    """Observer attached to a path's copies: destination-delivered bytes
+    plus the timestamp at which the path's process failed (if it did)."""
+
+    delivered: int = 0
+    failed_at: float | None = None
+
+
+@dataclass(frozen=True)
+class PathFault:
+    """One failed/timed-out path of a settled execution."""
+
+    path_id: str
+    nbytes: int  # bytes the plan assigned to this path
+    delivered: int  # bytes confirmed delivered at the destination
+    start: float
+    end: float  # time the path's process failed
+    error: BaseException
+
+    @property
+    def missing(self) -> int:
+        return self.nbytes - self.delivered
+
+
+@dataclass(frozen=True)
+class SettledExecution:
+    """Outcome of :meth:`PipelineEngine.execute_settled`: every path ran to
+    completion or to a typed failure — nothing is lost to fail-fast."""
+
+    executions: tuple[PathExecution, ...] = ()
+    faults: tuple[PathFault, ...] = field(default_factory=tuple)
+
+    @property
+    def delivered(self) -> int:
+        return sum(e.nbytes for e in self.executions) + sum(
+            f.delivered for f in self.faults
+        )
+
+    @property
+    def ok(self) -> bool:
+        return not self.faults
+
+
 class PipelineEngine:
     """Executes transfer plans over the GPU runtime."""
 
@@ -56,6 +101,9 @@ class PipelineEngine:
         self.transfers_executed = 0
         self.paths_executed = 0
         self.chunks_executed = 0
+        self.paths_failed = 0
+        self.watchdog_timeouts = 0
+        self.streams_reset = 0
         self.obs = obs
 
     # ------------------------------------------------------------------
@@ -88,16 +136,176 @@ class PipelineEngine:
         return self.engine.all_of(procs)
 
     # ------------------------------------------------------------------
-    def _run_path(self, plan: TransferPlan, a: PathAssignment, tag: str):
+    def execute_settled(
+        self,
+        plan: TransferPlan,
+        *,
+        tag: str = "",
+        deadline_factor: float | None = None,
+    ) -> Event:
+        """Run all paths and *settle* every one of them.
+
+        Unlike :meth:`execute` (fail-fast ``all_of``), the returned process
+        waits for each path to either complete or fail with a typed error
+        (:class:`~repro.gpu.errors.LinkFailure` /
+        :class:`~repro.gpu.errors.TransferTimeout`) and succeeds with a
+        :class:`SettledExecution` carrying both outcomes — the recovery
+        layer needs every path's delivered-byte count to replan the
+        remainder.  With ``deadline_factor`` set, each path gets a watchdog
+        that aborts its in-flight copies once ``predicted T_i x factor``
+        elapses.  Non-transfer errors propagate unchanged.
+
+        In the no-fault case the event timeline is identical to
+        :meth:`execute` (the settle loop consumes completions in the same
+        order ``all_of`` would; only this wrapper process is added).
+        """
+        return self.engine.process(
+            self._settled_proc(plan, tag, deadline_factor),
+            name=f"settle:{tag or f'{plan.src}->{plan.dst}'}",
+        )
+
+    def _settled_proc(
+        self, plan: TransferPlan, tag: str, deadline_factor: float | None
+    ):
+        active = plan.active_assignments
+        if not active:
+            return SettledExecution()
+        self.transfers_executed += 1
+        t0 = self.engine.now
+        entries: list[tuple[PathAssignment, Event, _PathProgress]] = []
+        for a in active:
+            progress = _PathProgress()
+            proc = self.engine.process(
+                self._run_path(plan, a, tag, progress),
+                name=f"path:{a.path.path_id}",
+            )
+            proc.add_callback(
+                lambda ev, p=progress: (
+                    None if ev.ok else setattr(p, "failed_at", self.engine.now)
+                )
+            )
+            entries.append((a, proc, progress))
+        if deadline_factor is not None:
+            for a, proc, _ in entries:
+                self.engine.process(
+                    self._watchdog(
+                        proc, a, tag, self._path_deadline(plan, a, deadline_factor)
+                    ),
+                    name=f"watchdog:{a.path.path_id}",
+                )
+        execs: list[PathExecution] = []
+        faults: list[PathFault] = []
+        for a, proc, progress in entries:
+            try:
+                execs.append((yield proc))
+            except (LinkFailure, TransferTimeout) as exc:
+                self.paths_failed += 1
+                self.reset_path_streams(plan.src, plan.dst, a.path.path_id)
+                failed_at = (
+                    progress.failed_at
+                    if progress.failed_at is not None
+                    else self.engine.now
+                )
+                faults.append(
+                    PathFault(
+                        path_id=a.path.path_id,
+                        nbytes=a.nbytes,
+                        delivered=progress.delivered,
+                        start=t0,
+                        end=failed_at,
+                        error=exc,
+                    )
+                )
+                if self.obs is not None:
+                    self.obs.metrics.counter("pipeline.path_faults").inc()
+        return SettledExecution(tuple(execs), tuple(faults))
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _path_deadline(
+        plan: TransferPlan, a: PathAssignment, factor: float
+    ) -> float:
+        """Watchdog deadline: the model's own per-path prediction
+        (Eq. 4's T_i = theta_i·n·Ω_i + Δ_i) scaled by the slack factor."""
+        predicted = a.theta * plan.nbytes * a.effective.omega + a.effective.delta
+        return factor * max(predicted, 1e-6)
+
+    def _watchdog(self, proc: Event, a: PathAssignment, tag: str, deadline: float):
+        """Abort a path's in-flight fabric flows once its deadline passes.
+
+        The kill is delivered *through the fabric* (flows fail, streams
+        poison, the path process raises) so the unwind path is the same one
+        hard link failures take.  A path stuck outside the fabric for a
+        moment (e.g. in the ε sync delay) is re-checked a bounded number of
+        times rather than force-killed.
+        """
+        label = f"{tag}/{a.path.path_id}" if tag else a.path.path_id
+        prefix = f"{label}:"
+        expiry = self.engine.timeout(deadline)
+        try:
+            idx, _ = yield self.engine.any_of([proc, expiry])
+        except (LinkFailure, TransferTimeout):
+            self.engine.cancel(expiry)
+            return  # the path already failed on its own; nothing to abort
+        if idx == 0:
+            self.engine.cancel(expiry)
+            return  # path completed within its deadline
+        self.watchdog_timeouts += 1
+        fabric = self.runtime.fabric
+        recheck = max(deadline * 0.25, 1e-6)
+        for _ in range(64):
+            if proc.triggered:
+                return
+            fabric.fail_flows_matching(
+                lambda f: f.tag.startswith(prefix),
+                lambda f: TransferTimeout(a.path.path_id, deadline),
+            )
+            if proc.triggered:
+                return
+            yield self.engine.timeout(recheck)
+
+    # ------------------------------------------------------------------
+    def reset_path_streams(self, src: int, dst: int, path_id: str) -> int:
+        """Drop a path's pooled streams after a failure.
+
+        Stream errors are sticky (CUDA-style: a failed op poisons every
+        later op on the queue), so a retry reusing the pooled stream would
+        fail instantly.  Dropping the pool entries gives the next execution
+        fresh queues.  Returns the number of streams dropped.
+        """
+        dropped = 0
+        for role in ("direct", "h1", "h2"):
+            if self._stream_pool.pop((src, dst, path_id, role), None) is not None:
+                dropped += 1
+        self.streams_reset += dropped
+        return dropped
+
+    # ------------------------------------------------------------------
+    def _run_path(
+        self,
+        plan: TransferPlan,
+        a: PathAssignment,
+        tag: str,
+        progress: _PathProgress | None = None,
+    ):
         start = self.engine.now
         label = f"{tag}/{a.path.path_id}" if tag else a.path.path_id
         if not a.path.is_staged:
             stream = self._stream(
                 (plan.src, plan.dst, a.path.path_id, "direct"), plan.src
             )
-            yield self.runtime.copy_on_hop_async(
+            done = self.runtime.copy_on_hop_async(
                 a.path.hops[0], a.nbytes, stream, tag=f"{label}:direct"
             )
+            if progress is not None:
+                done.add_callback(
+                    lambda ev, p=progress, n=a.nbytes: (
+                        setattr(p, "delivered", p.delivered + n)
+                        if ev.ok
+                        else None
+                    )
+                )
+            yield done
             return self._path_done(plan, a, label, start, 1)
 
         # Staged path: three-step chunk loop over two streams.
@@ -120,11 +328,18 @@ class PipelineEngine:
             s2.wait_event(arrived)
             s2.delay(epsilon, label=f"{label}:sync:{c}")
             # Step 3: staging location -> destination.
-            finals.append(
-                self.runtime.copy_on_hop_async(
-                    hop2, chunk_bytes, s2, tag=f"{label}:h2:{c}"
-                )
+            final = self.runtime.copy_on_hop_async(
+                hop2, chunk_bytes, s2, tag=f"{label}:h2:{c}"
             )
+            if progress is not None:
+                final.add_callback(
+                    lambda ev, p=progress, n=chunk_bytes: (
+                        setattr(p, "delivered", p.delivered + n)
+                        if ev.ok
+                        else None
+                    )
+                )
+            finals.append(final)
         yield finals[-1]
         return self._path_done(plan, a, label, start, len(chunks))
 
@@ -170,16 +385,31 @@ class PipelineEngine:
             "transfers_executed": self.transfers_executed,
             "paths_executed": self.paths_executed,
             "chunks_executed": self.chunks_executed,
+            "paths_failed": self.paths_failed,
+            "watchdog_timeouts": self.watchdog_timeouts,
+            "streams_reset": self.streams_reset,
             "stream_pool_size": len(self._stream_pool),
         }
 
     # ------------------------------------------------------------------
     @staticmethod
     def _chunk_sizes(nbytes: int, k: int) -> list[int]:
-        """Split ``nbytes`` into ``k`` near-equal positive chunks."""
-        k = max(1, min(k, nbytes)) if nbytes > 0 else 1
+        """Split ``nbytes`` into ``k`` near-equal positive chunks.
+
+        Zero-byte requests never reach path execution (the planner's
+        ``active_assignments`` filters empty shares), so an empty or
+        zero-byte chunk list has no meaning here and is rejected.
+        """
+        if nbytes <= 0:
+            raise ValueError(f"cannot chunk a {nbytes}-byte transfer")
+        k = max(1, min(k, nbytes))
         base, rem = divmod(nbytes, k)
         return [base + (1 if i < rem else 0) for i in range(k)]
 
 
-__all__ = ["PipelineEngine", "PathExecution"]
+__all__ = [
+    "PipelineEngine",
+    "PathExecution",
+    "PathFault",
+    "SettledExecution",
+]

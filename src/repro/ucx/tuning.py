@@ -44,6 +44,12 @@ class TransportConfig:
     eager_overhead: float = 1.0 * us
     request_overhead: float = 0.4 * us  # per-request software cost
     planner_alignment: int = 256
+    # Failure recovery (see DESIGN.md §5d).  With max_path_retries=0 and no
+    # deadline_factor the transport runs the legacy fail-fast path with zero
+    # recovery bookkeeping.
+    max_path_retries: int = 3  # replans of a put's remaining bytes
+    retry_backoff: float = 25 * us  # first backoff; doubles per retry
+    deadline_factor: float | None = None  # per-path watchdog: T_i x factor
 
     def __post_init__(self) -> None:
         if self.rndv_threshold < 0:
@@ -52,6 +58,12 @@ class TransportConfig:
             raise ValueError("max_chunks must be >= 1")
         if any(o < 0 for o in (self.rndv_overhead, self.eager_overhead, self.request_overhead)):
             raise ValueError("overheads must be >= 0")
+        if self.max_path_retries < 0:
+            raise ValueError("max_path_retries must be >= 0")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
+        if self.deadline_factor is not None and self.deadline_factor <= 1.0:
+            raise ValueError("deadline_factor must be > 1 (or None to disable)")
         total = sum(s.fraction for s in self.static_shares)
         if self.static_shares and abs(total - 1.0) > 1e-6:
             raise ValueError(f"static shares must sum to 1, got {total}")
@@ -101,6 +113,13 @@ class TransportConfig:
             cfg = cfg.with_(max_chunks=int(env["UCX_MP_MAX_CHUNKS"]))
         if "UCX_RNDV_THRESH" in env:
             cfg = cfg.with_(rndv_threshold=parse_size(env["UCX_RNDV_THRESH"]))
+        if "UCX_MP_MAX_RETRIES" in env:
+            cfg = cfg.with_(max_path_retries=int(env["UCX_MP_MAX_RETRIES"]))
+        if "UCX_MP_DEADLINE_FACTOR" in env:
+            raw = env["UCX_MP_DEADLINE_FACTOR"].strip().lower()
+            cfg = cfg.with_(
+                deadline_factor=None if raw in ("", "none", "off") else float(raw)
+            )
         return cfg
 
 

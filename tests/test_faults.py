@@ -1,0 +1,430 @@
+"""Fault injection and recovery: fabric outages, scripted schedules,
+transport failover, path health, and graceful collective degradation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.path_health import PathHealth, PathHealthRegistry
+from repro.mpi import Communicator, collectives
+from repro.sim import (
+    Engine,
+    Fabric,
+    FaultSchedule,
+    FlappingLink,
+    LinkDown,
+    LinkFailure,
+    StallInjector,
+    Tracer,
+)
+from repro.topology import systems
+from repro.ucx import PathUnavailable, TransportConfig, UCXContext
+from repro.units import MiB, gbps
+
+
+def make_ctx(topology=None, config=None, tracer=None):
+    eng = Engine()
+    ctx = UCXContext(
+        eng, topology or systems.beluga(), config=config, tracer=tracer
+    )
+    return eng, ctx
+
+
+def delivered_bytes(tracer, label):
+    """Final-hop bytes for a put and its retries (``label:rN`` tags)."""
+    return sum(
+        r.nbytes
+        for r in tracer.records
+        if r.tag.startswith(f"{label}/") or r.tag.startswith(f"{label}:r")
+        if ":direct" in r.tag or ":h2:" in r.tag
+    )
+
+
+# ----------------------------------------------------------------------
+# Fabric-level fault semantics
+# ----------------------------------------------------------------------
+class TestFabricFaults:
+    def _fab(self, eng, **betas):
+        fab = Fabric(eng)
+        for name, beta in betas.items():
+            fab.add_channel(name, alpha=0.0, beta=beta)
+        return fab
+
+    def test_fail_channel_kills_inflight_flow(self):
+        eng = Engine()
+        fab = self._fab(eng, a=gbps(10))
+        ev = fab.copy("a", 10 * MiB, tag="victim")
+        eng.call_at(1e-4).add_callback(lambda _e: fab.fail_channel("a"))
+        with pytest.raises(LinkFailure) as exc:
+            eng.run(until=ev)
+        assert exc.value.channel == "a"
+        assert exc.value.tag == "victim"
+        assert eng.now == pytest.approx(1e-4)
+        assert fab.flows_failed == 1 and fab.channel_failures == 1
+
+    def test_admit_while_down_fails(self):
+        eng = Engine()
+        fab = self._fab(eng, a=gbps(10))
+        fab.fail_channel("a")
+        with pytest.raises(LinkFailure):
+            eng.run(until=fab.copy("a", 1 * MiB))
+        assert fab.is_down("a")
+
+    def test_restore_channel_readmits(self):
+        eng = Engine()
+        fab = self._fab(eng, a=gbps(10))
+        fab.fail_channel("a")
+        fab.restore_channel("a")
+        eng.run(until=fab.copy("a", 10 * MiB))
+        assert eng.now == pytest.approx(10 * MiB / gbps(10), rel=1e-9)
+
+    def test_failure_only_kills_crossing_flows(self):
+        eng = Engine()
+        fab = self._fab(eng, a=gbps(10), b=gbps(10))
+        victim = fab.copy("a", 10 * MiB)
+        survivor = fab.copy("b", 10 * MiB)
+        eng.call_at(1e-4).add_callback(lambda _e: fab.fail_channel("a"))
+        eng.run(until=survivor)
+        assert survivor.ok
+        assert victim.triggered and not victim.ok
+
+    def test_stall_freezes_then_resumes(self):
+        eng = Engine()
+        fab = self._fab(eng, a=gbps(10))
+        ev = fab.copy("a", 10 * MiB)  # 1 ms unstalled
+        eng.call_at(0.5e-3).add_callback(lambda _e: fab.stall_channel("a"))
+        eng.call_at(2.5e-3).add_callback(lambda _e: fab.unstall_channel("a"))
+        eng.run(until=ev)
+        # progress until the stall + 2 ms frozen + the remainder
+        t_free = 10 * MiB / gbps(10)
+        assert eng.now == pytest.approx(2.5e-3 + (t_free - 0.5e-3), rel=1e-9)
+        assert fab.channel_stalls == 1
+
+    def test_stalled_flow_releases_shared_capacity(self):
+        eng = Engine()
+        fab = Fabric(eng)
+        fab.add_channel("a", alpha=0.0, beta=gbps(10))
+        fab.add_channel("b", alpha=0.0, beta=gbps(10))
+        wide = fab.copy(["a", "b"], 10 * MiB)  # holds both channels
+        solo = fab.copy("a", 10 * MiB)
+        fab.stall_channel("b")  # freezes `wide` entirely
+        eng.run(until=solo)
+        # `solo` must get the whole of channel a while `wide` is frozen.
+        assert eng.now == pytest.approx(10 * MiB / gbps(10), rel=1e-6)
+        assert not wide.triggered
+
+    def test_fail_flows_matching_by_tag(self):
+        eng = Engine()
+        fab = self._fab(eng, a=gbps(10))
+        doomed = fab.copy("a", 10 * MiB, tag="x:1")
+        kept = fab.copy("a", 10 * MiB, tag="y:1")
+        n = fab.fail_flows_matching(
+            lambda f: f.tag.startswith("x:"),
+            lambda f: LinkFailure("a", tag=f.tag),
+        )
+        assert n == 1
+        eng.run(until=kept)
+        assert kept.ok and doomed.triggered and not doomed.ok
+
+    def test_stats_snapshot_lists_fault_state(self):
+        eng = Engine()
+        fab = self._fab(eng, a=gbps(1), b=gbps(1))
+        fab.fail_channel("a")
+        fab.stall_channel("b")
+        snap = fab.stats_snapshot()
+        assert snap["channels_down"] == ["a"]
+        assert snap["channels_stalled"] == ["b"]
+
+
+# ----------------------------------------------------------------------
+# Injectors and schedules
+# ----------------------------------------------------------------------
+class TestFaultSchedule:
+    def test_flapping_windows_deterministic(self):
+        kw = dict(first_down=0.1, mean_down=0.05, mean_up=0.1, until=2.0)
+        a = FlappingLink("c", seed=7, **kw)
+        b = FlappingLink("c", seed=7, **kw)
+        other = FlappingLink("c", seed=8, **kw)
+        assert a.windows() == b.windows()
+        assert a.windows() != other.windows()
+        assert all(w.end <= 2.0 for w in a.windows())
+
+    def test_schedule_merges_and_sorts_windows(self):
+        sched = FaultSchedule(
+            LinkDown("b", at=0.5, duration=0.1),
+            StallInjector("a", at=0.2, duration=0.1),
+        )
+        starts = [w.start for w in sched.windows()]
+        assert starts == sorted(starts)
+        assert "stall" in sched.describe() and "down" in sched.describe()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkDown("c", at=-1.0)
+        with pytest.raises(ValueError):
+            LinkDown("c", at=0.0, duration=0.0)
+        with pytest.raises(ValueError):
+            StallInjector("c", at=0.0, duration=math.inf)
+        with pytest.raises(ValueError):
+            FlappingLink("c", first_down=1.0, mean_down=0.1, mean_up=0.1, until=0.5)
+
+    def test_past_window_rejected_at_arm_time(self):
+        eng = Engine()
+        fab = Fabric(eng)
+        fab.add_channel("c", alpha=0.0, beta=gbps(1))
+        eng.run(until=eng.timeout(1.0))
+        with pytest.raises(Exception, match="clock"):
+            FaultSchedule(LinkDown("c", at=0.5, duration=1.0)).attach(fab)
+
+    def test_scripted_run_bit_identical_across_repeats(self):
+        def run_once():
+            eng, ctx = make_ctx(tracer=Tracer())
+            sched = FaultSchedule(
+                FlappingLink(
+                    "nvl:0->1",
+                    first_down=1e-4,
+                    mean_down=5e-5,
+                    mean_up=2e-4,
+                    until=2e-3,
+                    seed=3,
+                )
+            )
+            sched.attach(ctx.runtime.fabric)
+            result = eng.run(until=ctx.put(0, 1, 32 * MiB, tag="rep"))
+            records = [
+                (r.channel, r.tag, r.start, r.end, r.nbytes)
+                for r in ctx.tracer.records
+            ]
+            return result, records, eng.now
+
+        r1, rec1, t1 = run_once()
+        r2, rec2, t2 = run_once()
+        assert t1 == t2 and r1 == r2
+        assert rec1 == rec2  # bit-identical, not just approximately equal
+
+
+# ----------------------------------------------------------------------
+# Transport recovery
+# ----------------------------------------------------------------------
+class TestPutRecovery:
+    def test_midtransfer_linkdown_delivers_every_byte(self):
+        # Fault-free baseline fixes the fault anchor deterministically.
+        eng0, ctx0 = make_ctx()
+        t0 = eng0.run(until=ctx0.put(0, 1, 64 * MiB)).duration
+
+        eng, ctx = make_ctx(tracer=Tracer())
+        FaultSchedule(LinkDown("nvl:0->1", at=0.5 * t0)).attach(
+            ctx.runtime.fabric
+        )
+        result = eng.run(until=ctx.put(0, 1, 64 * MiB, tag="hit"))
+        assert result.retries >= 1
+        assert result.rerouted_bytes > 0
+        assert delivered_bytes(ctx.tracer, "hit") == 64 * MiB
+        assert ctx.cuda_ipc.puts_recovered == 1
+        assert ctx.cuda_ipc.path_failovers >= 1
+        assert ctx.health.state(0, 1, "direct") is not PathHealth.HEALTHY
+
+    def test_all_paths_failed_raises_fast(self):
+        # pcie_only GPU0->GPU1 has exactly one path (host staging), and
+        # every byte leaving GPU0 crosses pcie:0:d2h.
+        eng, ctx = make_ctx(topology=systems.pcie_only())
+        FaultSchedule(LinkDown("pcie:0:d2h", at=1e-5)).attach(
+            ctx.runtime.fabric
+        )
+        with pytest.raises(PathUnavailable) as exc:
+            eng.run(until=ctx.put(0, 1, 64 * MiB, tag="doomed"))
+        assert "host" in exc.value.failed
+        assert ctx.cuda_ipc.puts_failed == 1
+        # Fail-fast, not a hang: bounded by the backoff sum, far under T.
+        assert eng.now < 64 * MiB / gbps(1)
+
+    def test_recovery_disabled_fails_fast_with_link_failure(self):
+        cfg = TransportConfig(max_path_retries=0)
+        eng, ctx = make_ctx(config=cfg)
+        FaultSchedule(LinkDown("nvl:0->1", at=1e-5)).attach(ctx.runtime.fabric)
+        with pytest.raises(LinkFailure):
+            eng.run(until=ctx.put(0, 1, 64 * MiB))
+
+    def test_stall_recovered_by_deadline_watchdog(self):
+        eng0, ctx0 = make_ctx()
+        t0 = eng0.run(until=ctx0.put(0, 1, 64 * MiB)).duration
+
+        cfg = TransportConfig(deadline_factor=2.0)
+        eng, ctx = make_ctx(config=cfg, tracer=Tracer())
+        FaultSchedule(
+            StallInjector("nvl:0->1", at=0.4 * t0, duration=50 * t0)
+        ).attach(ctx.runtime.fabric)
+        result = eng.run(until=ctx.put(0, 1, 64 * MiB, tag="stuck"))
+        assert result.retries >= 1
+        assert ctx.pipeline.watchdog_timeouts >= 1
+        assert delivered_bytes(ctx.tracer, "stuck") == 64 * MiB
+        # The watchdog fired long before the stall window ended.
+        assert eng.now < 0.4 * t0 + 50 * t0
+
+    def test_no_fault_timeline_invariant_vs_legacy(self):
+        """Without faults, the recovery machinery must not perturb the
+        simulated timeline: tracer records are bit-identical to the
+        legacy fail-fast execution path (osu_bw-style windowed puts)."""
+
+        def run(config):
+            eng, ctx = make_ctx(config=config, tracer=Tracer())
+
+            def workload():
+                for i in range(3):  # 3 windows of 4 concurrent puts
+                    yield eng.all_of(
+                        [
+                            ctx.put(0, 1, 32 * MiB, tag=f"w{i}p{j}")
+                            for j in range(4)
+                        ]
+                    )
+
+            eng.run(until=eng.process(workload()))
+            return eng.now, [
+                (r.channel, r.tag, r.start, r.end, r.nbytes)
+                for r in ctx.tracer.records
+            ]
+
+        t_resilient, rec_resilient = run(TransportConfig())  # retries on
+        t_legacy, rec_legacy = run(TransportConfig(max_path_retries=0))
+        assert t_resilient == t_legacy
+        assert rec_resilient == rec_legacy
+
+
+# ----------------------------------------------------------------------
+# Path health circuit breaker
+# ----------------------------------------------------------------------
+class TestPathHealth:
+    def test_suspect_then_quarantine_then_probe_then_readmit(self):
+        reg = PathHealthRegistry(probe_backoff=1e-3, seed=0)
+        assert reg.record_failure(0, 1, "direct", now=0.0) is PathHealth.SUSPECT
+        assert (
+            reg.record_failure(0, 1, "direct", now=0.1)
+            is PathHealth.QUARANTINED
+        )
+        assert reg.excluded(0, 1, now=0.1) == ("direct",)
+        # Past the (jittered <= +25%) probe delay the caller becomes the
+        # probe: the path is released exactly once.
+        assert reg.excluded(0, 1, now=0.1 + 2e-3) == ()
+        assert reg.state(0, 1, "direct") is PathHealth.PROBING
+        assert reg.excluded(0, 1, now=0.1 + 2e-3) == ("direct",)  # no stampede
+        assert reg.record_success(0, 1, "direct", now=0.2) is PathHealth.HEALTHY
+        assert reg.readmissions == 1 and reg.probes == 1
+
+    def test_failed_probe_backs_off_exponentially(self):
+        reg = PathHealthRegistry(probe_backoff=1e-3, backoff_factor=2.0, seed=0)
+        reg.record_failure(0, 1, "direct", now=0.0)
+        reg.record_failure(0, 1, "direct", now=0.0)
+        e = reg._entries[(0, 1, "direct")]
+        first_delay = e.probe_at
+        reg.excluded(0, 1, now=first_delay)  # become probe
+        reg.record_failure(0, 1, "direct", now=first_delay)  # probe fails
+        assert reg.state(0, 1, "direct") is PathHealth.QUARANTINED
+        assert e.backoff == pytest.approx(2e-3)
+        assert reg.quarantines == 1  # re-quarantine is not a new quarantine
+
+    def test_success_resets_consecutive_failures(self):
+        reg = PathHealthRegistry()
+        reg.record_failure(0, 1, "direct", now=0.0)
+        reg.record_success(0, 1, "direct", now=0.1)
+        assert reg.state(0, 1, "direct") is PathHealth.HEALTHY
+        reg.record_failure(0, 1, "direct", now=0.2)
+        assert reg.state(0, 1, "direct") is PathHealth.SUSPECT  # not quarantined
+
+    def test_pairs_are_independent(self):
+        reg = PathHealthRegistry()
+        reg.record_failure(0, 1, "direct", now=0.0)
+        reg.record_failure(0, 1, "direct", now=0.1)
+        assert reg.excluded(2, 3, now=0.2) == ()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PathHealthRegistry(suspect_after=0)
+        with pytest.raises(ValueError):
+            PathHealthRegistry(suspect_after=3, quarantine_after=2)
+        with pytest.raises(ValueError):
+            PathHealthRegistry(probe_backoff=0.0)
+        with pytest.raises(ValueError):
+            PathHealthRegistry(backoff_factor=0.5)
+
+    def test_quarantine_invalidates_cached_plans(self):
+        eng, ctx = make_ctx()
+        plan = ctx.planner.plan(0, 1, 64 * MiB)
+        assert not plan.from_cache
+        assert ctx.planner.plan(0, 1, 64 * MiB).from_cache
+        ctx.health.record_failure(0, 1, "direct", now=0.0)
+        ctx.health.record_failure(0, 1, "direct", now=0.1)
+        # on_quarantine purged every cached plan routing over `direct`.
+        assert not ctx.planner.plan(0, 1, 64 * MiB).from_cache
+
+    def test_planner_excludes_quarantined_paths(self):
+        eng, ctx = make_ctx()
+        ctx.health.record_failure(0, 1, "direct", now=0.0)
+        ctx.health.record_failure(0, 1, "direct", now=0.0)
+        result = eng.run(until=ctx.put(0, 1, 64 * MiB))
+        assert result.retries == 0  # planned around the quarantine upfront
+        snap = ctx.cuda_ipc.stats_snapshot()
+        assert snap["recovery"]["path_failovers"] == 0
+
+
+# ----------------------------------------------------------------------
+# Collectives under mid-run link loss
+# ----------------------------------------------------------------------
+class TestCollectiveDegradation:
+    def _run(self, fn, *, schedule=None, size=4):
+        eng = Engine()
+        ctx = UCXContext(eng, systems.beluga())
+        if schedule is not None:
+            schedule.attach(ctx.runtime.fabric)
+        comm = Communicator(ctx, size=size)
+        results = {}
+
+        def program(view):
+            out = yield from fn(view)
+            results[view.rank] = out
+
+        eng.run(until=comm.run_ranks(program))
+        return results, eng.now, ctx
+
+    def test_allreduce_survives_mid_collective_linkdown(self):
+        elems = 1 << 20  # 8 MiB vectors -> rndv multipath puts
+        rng = np.random.default_rng(0)
+        inputs = [rng.normal(size=elems) for _ in range(4)]
+        expected = np.sum(inputs, axis=0)
+
+        def fn(view):
+            out = yield from collectives.allreduce_ring(view, inputs[view.rank])
+            return out
+
+        _, t_clean, _ = self._run(fn)
+        sched = FaultSchedule(LinkDown("nvl:0->1", at=0.4 * t_clean))
+        results, t_faulted, ctx = self._run(fn, schedule=sched)
+        for r in range(4):
+            # recovery can reorder chunk arrivals -> one-ulp fp differences
+            np.testing.assert_allclose(
+                results[r], expected, rtol=1e-9, atol=1e-12
+            )
+        assert ctx.cuda_ipc.puts_recovered >= 1
+        assert t_faulted > t_clean  # recovery is not free
+
+    def test_alltoall_survives_mid_collective_linkdown(self):
+        elems = 1 << 20  # 8 MiB blocks -> rndv multipath puts
+        rng = np.random.default_rng(1)
+        # matrix[src][dst] = block sent from src to dst
+        matrix = [
+            [rng.normal(size=elems) for _ in range(4)] for _ in range(4)
+        ]
+
+        def fn(view):
+            out = yield from collectives.alltoall(view, matrix[view.rank])
+            return out
+
+        _, t_clean, _ = self._run(fn)
+        sched = FaultSchedule(LinkDown("nvl:0->1", at=0.4 * t_clean))
+        results, _, ctx = self._run(fn, schedule=sched)
+        for dst in range(4):
+            for src in range(4):
+                np.testing.assert_allclose(
+                    results[dst][src], matrix[src][dst], rtol=1e-12
+                )
+        assert ctx.cuda_ipc.puts_recovered >= 1

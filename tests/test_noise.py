@@ -6,6 +6,7 @@ import pytest
 from repro.sim.noise import (
     BurstSlowdown,
     ComposedJitter,
+    LinearDrift,
     LognormalJitter,
     SizeDependentEfficiency,
 )
@@ -65,6 +66,41 @@ class TestSizeDependentEfficiency:
     def test_validation(self):
         with pytest.raises(ValueError):
             SizeDependentEfficiency(-1)
+
+
+class TestLinearDrift:
+    def test_identity_before_start(self):
+        d = LinearDrift(2.0, start=5, ramp=4)
+        assert [d(1) for _ in range(5)] == [1.0] * 5
+
+    def test_monotone_ramp_then_hold(self):
+        d = LinearDrift(2.0, start=2, ramp=4)
+        samples = [d(1) for _ in range(12)]
+        assert all(b >= a for a, b in zip(samples, samples[1:]))
+        assert samples[:2] == [1.0, 1.0]
+        # ramp completes after `ramp` post-onset invocations, then holds
+        assert samples[2 + 4 - 1] == pytest.approx(2.0)
+        assert samples[-1] == pytest.approx(2.0)
+
+    def test_zero_ramp_is_step_change(self):
+        d = LinearDrift(3.0, start=1, ramp=0)
+        assert d(1) == 1.0
+        assert d(1) == pytest.approx(3.0)
+
+    def test_counter_based_reproducibility(self):
+        def seq():
+            d = LinearDrift(1.5, start=3, ramp=5)
+            return [d(1) for _ in range(10)]
+
+        assert seq() == seq()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearDrift(0.0)
+        with pytest.raises(ValueError):
+            LinearDrift(2.0, start=-1)
+        with pytest.raises(ValueError):
+            LinearDrift(2.0, ramp=-2)
 
 
 class TestComposedJitter:

@@ -199,6 +199,38 @@ class TestCombinators:
             eng.run(until=barrier)
         assert eng.now == 1.0
 
+    def test_all_of_child_failure_propagates_to_waiting_process(self):
+        # A process waiting on the barrier must see the child's exception
+        # (not hang until the surviving children finish).
+        eng = Engine()
+
+        def failing():
+            yield eng.timeout(1.0)
+            raise RuntimeError("child died")
+
+        def waiter():
+            try:
+                yield eng.all_of([eng.process(failing()), eng.timeout(10.0)])
+            except RuntimeError as exc:
+                return f"caught: {exc}"
+            return "not raised"
+
+        assert eng.run(until=eng.process(waiter())) == "caught: child died"
+        assert eng.now == 1.0
+
+    def test_all_of_sibling_failures_keep_first_error(self):
+        eng = Engine()
+
+        def failing(delay, msg):
+            yield eng.timeout(delay)
+            raise RuntimeError(msg)
+
+        barrier = eng.all_of(
+            [eng.process(failing(1.0, "first")), eng.process(failing(2.0, "second"))]
+        )
+        with pytest.raises(RuntimeError, match="first"):
+            eng.run(until=barrier)
+
 
 class TestDeterminism:
     def test_identical_runs_produce_identical_timelines(self):

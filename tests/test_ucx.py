@@ -139,7 +139,10 @@ class TestPipelineEngine:
         assert PipelineEngine._chunk_sizes(10, 3) == [4, 3, 3]
         assert PipelineEngine._chunk_sizes(9, 3) == [3, 3, 3]
         assert PipelineEngine._chunk_sizes(2, 5) == [1, 1]
-        assert PipelineEngine._chunk_sizes(0, 4) == [0]
+        with pytest.raises(ValueError):
+            PipelineEngine._chunk_sizes(0, 4)
+        with pytest.raises(ValueError):
+            PipelineEngine._chunk_sizes(-1, 2)
 
     def test_all_bytes_delivered(self):
         eng = Engine()
@@ -252,6 +255,16 @@ class TestCudaIpcPut:
         _, ctx = make_ctx()
         with pytest.raises(ValueError):
             ctx.put(0, 1, -5)
+
+    def test_zero_byte_put_completes_immediately(self):
+        eng, ctx = make_ctx(tracer=Tracer())
+        result = eng.run(until=ctx.put(0, 1, 0))
+        assert result.nbytes == 0
+        assert result.duration == 0.0
+        assert result.bandwidth == 0.0  # documented: 0.0, not a ZeroDivision
+        assert result.protocol == "eager" and result.mode == "single"
+        assert ctx.tracer.records == []  # nothing touched the fabric
+        assert ctx.cuda_ipc.puts_completed == 1
 
     def test_ipc_cache_warm_after_first_put(self):
         eng, ctx = make_ctx()
