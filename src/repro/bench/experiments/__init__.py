@@ -9,10 +9,15 @@ TAB-ERR   prediction-error aggregation (§5 headline numbers)
 OBS1–5    the five §5.2 observations as quantitative checks
 DRIFT     closed-loop recovery from injected link degradation
 CHAOS     fault injection + multi-path recovery scenarios
+CONTEND   contention-aware vs blind planning accuracy
 ========  =====================================================
 """
 
 from repro.bench.experiments.chaos import ChaosResult, run_chaos
+from repro.bench.experiments.contention import (
+    ContentionReport,
+    run_contention,
+)
 
 from repro.bench.experiments.fig4_theta import run_fig4
 from repro.bench.experiments.fig5_bw import run_fig5
@@ -40,4 +45,6 @@ __all__ = [
     "DriftRecoveryResult",
     "run_chaos",
     "ChaosResult",
+    "run_contention",
+    "ContentionReport",
 ]

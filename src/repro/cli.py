@@ -16,6 +16,7 @@ Usage::
     python -m repro.cli drift                # closed- vs open-loop recovery
     python -m repro.cli critical-path        # per-transfer bottleneck report
     python -m repro.cli chaos                # fault injection recovery report
+    python -m repro.cli contention           # contention-aware planning report
 """
 
 from __future__ import annotations
@@ -39,6 +40,11 @@ from repro.bench.baselines import dynamic_config
 from repro.bench.experiments.concurrent_pairs import run_concurrent_pairs
 from repro.bench.experiments.fig7_collectives import collective_sizes
 from repro.bench.experiments.chaos import SCENARIOS, run_chaos
+from repro.bench.experiments.contention import (
+    CONTENTION_PATTERNS,
+    measure_contention,
+    run_contention,
+)
 from repro.bench.experiments.drift_recovery import run_drift_recovery
 from repro.bench.omb import osu_bw
 from repro.bench.parallel import default_jobs
@@ -353,6 +359,50 @@ def cmd_chaos(args):
         print(f"wrote {args.output}", file=sys.stderr)
 
 
+def cmd_contention(args):
+    """Contention-aware vs blind planning error over concurrent patterns.
+
+    ``--scenario`` narrows to one pattern; ``-o`` writes the JSON series
+    (the ``concurrent_transfers`` shape committed to BENCH_sim.json);
+    ``--dump PREFIX`` writes the usual artifact bundle of one aware run.
+    """
+    system = _systems(args)[0]
+    nbytes = _nbytes(args)
+    patterns = None
+    if args.scenario:
+        if args.scenario not in CONTENTION_PATTERNS:
+            raise SystemExit(
+                f"error: unknown contention pattern {args.scenario!r} "
+                f"(have {', '.join(sorted(CONTENTION_PATTERNS))})"
+            )
+        patterns = {args.scenario: CONTENTION_PATTERNS[args.scenario]}
+    report_ = run_contention(system, nbytes=nbytes, patterns=patterns)
+    print(f"# contention: {system} n={nbytes}")
+    print(report_.to_table().render())
+    for p in report_.points:
+        print(
+            f"{p.pattern}: aware removes {p.improvement:.1%} of the blind "
+            f"error ({p.blind.mean_abs_error:.4f} -> "
+            f"{p.aware.mean_abs_error:.4f}, {p.aware.samples} puts)"
+        )
+    if args.dump:
+        name = next(iter(patterns)) if patterns else "all_to_one"
+        _, ctx = measure_contention(
+            get_setup(system),
+            CONTENTION_PATTERNS[name],
+            nbytes,
+            contention_aware=True,
+            keep_context=True,
+        )
+        for path in dump_artifacts(args.dump, ctx):
+            print(f"wrote {path}", file=sys.stderr)
+    if args.output:
+        with open(args.output, "w") as f:
+            json.dump({"concurrent_transfers": report_.to_series()}, f, indent=2)
+            f.write("\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+
+
 def cmd_critical_path(args):
     """Per-transfer bottleneck/slack attribution of one instrumented run."""
     system = _systems(args)[0]
@@ -372,6 +422,7 @@ COMMANDS = {
     "trace": cmd_trace,
     "drift": cmd_drift,
     "chaos": cmd_chaos,
+    "contention": cmd_contention,
     "critical-path": cmd_critical_path,
     "conc": cmd_conc,
     "fig4": cmd_fig4,
@@ -412,8 +463,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--scenario",
-        choices=["linkdown", "flap", "stall"],
-        help="chaos: run only this fault scenario (default: all three)",
+        choices=["linkdown", "flap", "stall", *sorted(CONTENTION_PATTERNS)],
+        help="chaos: run only this fault scenario; contention: run only "
+        "this traffic pattern (default: all)",
     )
     parser.add_argument(
         "--seed",

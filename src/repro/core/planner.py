@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 from collections.abc import Iterable, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -40,6 +40,7 @@ from repro.util.cache import LRUCache
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs import Observability
+    from repro.runtime.load import LoadSnapshot
 
 #: Message-size window used to fit φ when no calibrated value exists.
 DEFAULT_PHI_SIZES = tuple(int(2**i * MiB) for i in range(1, 10))  # 2MiB..512MiB
@@ -181,12 +182,24 @@ class PathPlanner:
         max_gpu_staged: int | None = None,
         exclude: Iterable[str] = (),
         use_cache: bool = True,
+        load: "LoadSnapshot | None" = None,
     ) -> TransferPlan:
-        """Plan a transfer over all (non-excluded) available paths."""
+        """Plan a transfer over all (non-excluded) available paths.
+
+        ``load`` is an optional per-channel in-flight snapshot (from the
+        :class:`~repro.runtime.load.LoadTracker`); when given, every hop's β
+        is derated by ``1/(1 + load)`` with the *bucketed* flow count of the
+        hop's busiest channel, and the bucketed form joins the cache key —
+        equal buckets produce identical plans, so caching stays sound.  An
+        idle snapshot keys (and plans) identically to ``load=None``.
+        """
         obs = self.obs
         t0 = time.perf_counter() if obs is not None else 0.0
         exclude = tuple(sorted(exclude))
-        key = (src, dst, int(nbytes), include_host, max_gpu_staged, exclude)
+        if load is not None and load.is_idle:
+            load = None
+        load_key = () if load is None else load.bucket_key()
+        key = (src, dst, int(nbytes), include_host, max_gpu_staged, exclude, load_key)
         if use_cache:
             cached = self.cache.get(key)
             if cached is not None:
@@ -199,7 +212,7 @@ class PathPlanner:
                     from_cache=True,
                 )
                 if obs is not None:
-                    self._observe_plan(obs, plan, time.perf_counter() - t0)
+                    self._observe_plan(obs, plan, time.perf_counter() - t0, load)
                 return plan
         paths = enumerate_paths(
             self.topology,
@@ -209,19 +222,27 @@ class PathPlanner:
             max_gpu_staged=max_gpu_staged,
             exclude=exclude,
         )
-        plan = self.plan_for_paths(src, dst, nbytes, paths)
+        plan = self.plan_for_paths(src, dst, nbytes, paths, load=load)
         if use_cache:
             self.cache.put(key, plan)
         if obs is not None:
-            self._observe_plan(obs, plan, time.perf_counter() - t0)
+            self._observe_plan(obs, plan, time.perf_counter() - t0, load)
         return plan
 
     def _observe_plan(
-        self, obs: "Observability", plan: TransferPlan, wall_time_s: float
+        self,
+        obs: "Observability",
+        plan: TransferPlan,
+        wall_time_s: float,
+        load: "LoadSnapshot | None" = None,
     ) -> None:
         """Record one decision (cold on the uninstrumented path)."""
+        load_bucket = self._plan_load_bucket(plan, load)
         obs.decisions.log_plan(
-            plan, cache_hit=plan.from_cache, wall_time_s=wall_time_s
+            plan,
+            cache_hit=plan.from_cache,
+            wall_time_s=wall_time_s,
+            load_bucket=load_bucket,
         )
         m = obs.metrics
         m.counter("planner.plans").inc()
@@ -231,6 +252,27 @@ class PathPlanner:
             m.counter("planner.plans_computed").inc()
         m.timer("planner.plan_wall").observe(wall_time_s)
         m.histogram("planner.nbytes").observe(plan.nbytes)
+        if load is not None:
+            m.counter("contention.loaded_plans").inc()
+            m.histogram("contention.load_bucket").observe(load_bucket)
+            if plan.from_cache:
+                m.counter("contention.cache_hits").inc()
+
+    @staticmethod
+    def _plan_load_bucket(
+        plan: TransferPlan, load: "LoadSnapshot | None"
+    ) -> int:
+        """Worst bucketed hop load the plan was derated against (0 = idle)."""
+        if load is None:
+            return 0
+        return max(
+            (
+                load.hop_load(hop)
+                for a in plan.active_assignments
+                for hop in a.path.hops
+            ),
+            default=0,
+        )
 
     # ------------------------------------------------------------------
     def plan_for_paths(
@@ -239,12 +281,20 @@ class PathPlanner:
         dst: int,
         nbytes: int,
         paths: Sequence[PathDescriptor],
+        *,
+        load: "LoadSnapshot | None" = None,
     ) -> TransferPlan:
-        """Algorithm 1 body for an explicit candidate-path list."""
+        """Algorithm 1 body for an explicit candidate-path list.
+
+        With ``load`` given, per-hop bandwidths are derated by
+        ``β/(1 + load)`` before θ* is solved (see :meth:`plan`).
+        """
         if nbytes < 0:
             raise ValueError("negative message size")
         if not paths:
             raise ValueError("at least one path required")
+        if load is not None and load.is_idle:
+            load = None
         if nbytes == 0:
             zero = [
                 PathAssignment(
@@ -270,7 +320,7 @@ class PathPlanner:
         accumulated = 0.0
         theta_ref = 1.0 / len(paths)
         for p in paths:
-            params = self._params_for(p, accumulated)
+            params = self._params_for(p, accumulated, load)
             params_list.append(params)
             phi = (
                 self._phi_for(params, nbytes, theta_ref)
@@ -398,11 +448,41 @@ class PathPlanner:
         return self.plan(src, dst, nbytes, **kwargs).predicted_bandwidth
 
     # ------------------------------------------------------------------
-    def _params_for(self, path: PathDescriptor, initiation: float) -> PathParams:
+    def _params_for(
+        self,
+        path: PathDescriptor,
+        initiation: float,
+        load: "LoadSnapshot | None" = None,
+    ) -> PathParams:
         params = self.store.path_params(path)
+        if load is not None:
+            params = self._derate_for_load(params, path, load)
         if self.sequential_initiation and initiation > 0:
             params = params.with_initiation(initiation)
         return params
+
+    @staticmethod
+    def _derate_for_load(
+        params: PathParams, path: PathDescriptor, load: "LoadSnapshot"
+    ) -> PathParams:
+        """β/(1 + load) contention derate, per hop, with bucketed loads.
+
+        ``load`` counts *other* in-flight flows (the caller acquires its own
+        hold only after planning), so an uncontended hop keeps its idle β.
+        Under max-min fair sharing of one saturated channel the derate is
+        exact; elsewhere it is a first-order correction (DESIGN.md §5e).
+        """
+        first = load.hop_load(path.hops[0])
+        changes: dict[str, float] = {}
+        if first > 0:
+            changes["beta1"] = params.beta1 / (1.0 + first)
+        if len(path.hops) > 1:
+            second = load.hop_load(path.hops[1])
+            if second > 0:
+                changes["beta2"] = params.beta2 / (1.0 + second)
+        if not changes:
+            return params
+        return replace(params, **changes)
 
     def _phi_for(
         self, params: PathParams, nbytes: int, theta_ref: float

@@ -162,7 +162,9 @@ class Communicator:
             send.request._finish(None)
             recv.request._finish(send.payload)
             return
-        put = self.context.cuda_ipc.put(
+        # All MPI traffic (and with it every collective) goes through the
+        # transfer service: admission control, load tracking, coalescing.
+        put = self.context.transfers.submit(
             src_dev,
             dst_dev,
             send.nbytes,

@@ -4,18 +4,30 @@ The paper's accuracy story (≤6 % error, <0.1 % overhead) is a statement
 about what the planner decided and how long deciding took.  Each
 :meth:`~repro.core.planner.PathPlanner.plan` call appends a
 :class:`PlannerDecision` carrying the inputs, the resulting θ*/chunk
-configuration, the predicted time, and whether the configuration cache
-served the request.
+configuration, the predicted time, the load bucket the plan was derated
+against (0 = idle fabric), and whether the configuration cache served the
+request.
+
+The log is a ring buffer (default 10 000 entries): long multi-transfer
+runs — collectives issue one decision per phase per pair — would otherwise
+grow memory without bound.  Evicted entries are counted (``dropped``) and
+their cache-hit/wall-time contributions are kept in running totals, so the
+aggregate statistics in :meth:`PlannerDecisionLog.summary` stay exact even
+after eviction.
 """
 
 from __future__ import annotations
 
 import json
+from collections import deque
 from dataclasses import asdict, dataclass
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.planner import TransferPlan
+
+#: Default ring-buffer capacity of :class:`PlannerDecisionLog`.
+DEFAULT_CAPACITY = 10_000
 
 
 @dataclass(frozen=True)
@@ -30,26 +42,44 @@ class PlannerDecision:
     path_ids: tuple[str, ...]
     thetas: tuple[float, ...]
     chunks: tuple[int, ...]
+    load_bucket: int = 0  # worst bucketed hop load the plan saw (0 = idle)
 
     def to_dict(self) -> dict:
         return asdict(self)
 
 
 class PlannerDecisionLog:
-    """Append-only log with cache-hit accounting."""
+    """Bounded decision log with exact aggregate accounting."""
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(
+        self, enabled: bool = True, *, capacity: int | None = DEFAULT_CAPACITY
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None for unbounded)")
         self.enabled = enabled
-        self.records: list[PlannerDecision] = []
+        self.capacity = capacity
+        self.records: deque[PlannerDecision] = deque(maxlen=capacity)
+        # Running totals over *all* logged decisions, evicted ones included.
+        self._seq = 0
+        self._dropped = 0
+        self._total_cache_hits = 0
+        self._total_wall_time = 0.0
 
     def log_plan(
-        self, plan: "TransferPlan", *, cache_hit: bool, wall_time_s: float
+        self,
+        plan: "TransferPlan",
+        *,
+        cache_hit: bool,
+        wall_time_s: float,
+        load_bucket: int = 0,
     ) -> None:
         if not self.enabled:
             return
+        if self.capacity is not None and len(self.records) == self.capacity:
+            self._dropped += 1
         self.records.append(
             PlannerDecision(
-                seq=len(self.records),
+                seq=self._seq,
                 src=plan.src,
                 dst=plan.dst,
                 nbytes=plan.nbytes,
@@ -59,30 +89,47 @@ class PlannerDecisionLog:
                 path_ids=tuple(a.path.path_id for a in plan.assignments),
                 thetas=tuple(a.theta for a in plan.assignments),
                 chunks=tuple(a.chunks for a in plan.assignments),
+                load_bucket=load_bucket,
             )
         )
+        self._seq += 1
+        if cache_hit:
+            self._total_cache_hits += 1
+        self._total_wall_time += wall_time_s
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self.records)
 
     @property
+    def total_decisions(self) -> int:
+        """Every decision ever logged, including evicted ones."""
+        return self._seq
+
+    @property
+    def dropped(self) -> int:
+        """Decisions evicted from the ring buffer."""
+        return self._dropped
+
+    @property
     def cache_hits(self) -> int:
-        return sum(1 for r in self.records if r.cache_hit)
+        return self._total_cache_hits
 
     @property
     def cache_hit_rate(self) -> float:
-        return self.cache_hits / len(self.records) if self.records else 0.0
+        return self._total_cache_hits / self._seq if self._seq else 0.0
 
     def total_wall_time(self) -> float:
-        return sum(r.wall_time_s for r in self.records)
+        return self._total_wall_time
 
     def summary(self) -> dict:
         return {
-            "decisions": len(self.records),
-            "cache_hits": self.cache_hits,
+            "decisions": self._seq,
+            "retained": len(self.records),
+            "dropped": self._dropped,
+            "cache_hits": self._total_cache_hits,
             "cache_hit_rate": self.cache_hit_rate,
-            "total_wall_time_s": self.total_wall_time(),
+            "total_wall_time_s": self._total_wall_time,
         }
 
     def to_jsonl(self) -> str:
@@ -90,6 +137,10 @@ class PlannerDecisionLog:
 
     def clear(self) -> None:
         self.records.clear()
+        self._seq = 0
+        self._dropped = 0
+        self._total_cache_hits = 0
+        self._total_wall_time = 0.0
 
 
-__all__ = ["PlannerDecision", "PlannerDecisionLog"]
+__all__ = ["PlannerDecision", "PlannerDecisionLog", "DEFAULT_CAPACITY"]

@@ -1,0 +1,21 @@
+"""Transfer service runtime: TransferManager + load accounting."""
+
+from repro.runtime.load import (
+    IDLE_SNAPSHOT,
+    MAX_LOAD_BUCKET,
+    LoadHold,
+    LoadSnapshot,
+    LoadTracker,
+    load_bucket,
+)
+from repro.runtime.service import TransferManager
+
+__all__ = [
+    "TransferManager",
+    "LoadTracker",
+    "LoadSnapshot",
+    "LoadHold",
+    "load_bucket",
+    "IDLE_SNAPSHOT",
+    "MAX_LOAD_BUCKET",
+]

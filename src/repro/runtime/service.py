@@ -1,0 +1,291 @@
+"""The transfer service: one admission point for every byte in the system.
+
+Before this layer existed, three call sites issued transfers directly —
+``UCXContext``/``cuda_ipc.put``, the MPI :class:`~repro.mpi.comm.Communicator`
+(and through it every collective), and the bench experiment drivers — each
+carrying its own plan-then-execute glue and each assuming an idle fabric.
+:class:`TransferManager` unifies them:
+
+* **Admission control** — optional per-GPU-pair and global in-flight caps
+  (``TransportConfig.max_inflight_per_pair`` / ``max_inflight_total``).
+  Requests that cannot be admitted queue FIFO; a pair at its limit never
+  blocks other pairs (per-pair FIFO order is still preserved).
+* **Small-message coalescing** — queued requests for the same pair below
+  ``coalesce_threshold`` are merged into one put when dispatched,
+  amortising the per-request software overhead; each original request's
+  event still completes with its own :class:`~repro.ucx.cuda_ipc.PutResult`.
+* **Load tracking** — a :class:`~repro.runtime.load.LoadTracker` maintains
+  per-channel in-flight flow/byte counts that the contention-aware planner
+  reads (``TransportConfig.contention_aware``).
+
+With the default configuration (no caps, coalescing off, contention-aware
+planning off) the manager dispatches synchronously and returns the put
+process event untouched, so single-transfer timelines are bit-identical to
+the pre-service issue path — asserted by ``tests/test_transfer_manager.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+from repro.runtime.load import LoadTracker
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine, Event
+    from repro.ucx.context import UCXContext
+    from repro.ucx.tuning import TransportConfig
+
+
+@dataclass
+class _QueuedRequest:
+    """A submitted transfer waiting for admission."""
+
+    seq: int
+    src: int
+    dst: int
+    nbytes: int
+    tag: str
+    event: "Event"
+    enqueued_at: float
+
+
+class TransferManager:
+    """Request queue + admission control + load tracking for transfers."""
+
+    def __init__(self, context: "UCXContext") -> None:
+        self.context = context
+        self.engine: "Engine" = context.engine
+        self.load = LoadTracker()
+        self._queue: list[_QueuedRequest] = []
+        self._inflight_pair: dict[tuple[int, int], int] = {}
+        self._inflight_total = 0
+        self._seq = 0
+        # run-level counters
+        self.submitted = 0
+        self.dispatched_direct = 0
+        self.dispatched_queued = 0
+        self.coalesced_requests = 0
+        self.coalesced_bytes = 0
+        self.completed = 0
+        self.failed = 0
+        self.peak_queue_depth = 0
+        self.peak_inflight = 0
+        self.queue_time_total = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> "TransportConfig":
+        """Live view of the context's config (reconfigure() is honoured)."""
+        return self.context.config
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight_total
+
+    # ------------------------------------------------------------------
+    def submit(self, src: int, dst: int, nbytes: int, *, tag: str = "") -> "Event":
+        """Submit a transfer; the returned event's value is a PutResult.
+
+        Admissible requests dispatch synchronously — no extra simulated
+        time, no wrapper process — so the default (uncapped) configuration
+        issues exactly what ``cuda_ipc.put`` issued before the service
+        existed.  Requests over an in-flight cap queue FIFO and dispatch
+        from the completion callback of an earlier transfer.
+        """
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        self.submitted += 1
+        self._seq += 1
+        if self._can_admit(src, dst):
+            self.dispatched_direct += 1
+            return self._dispatch(src, dst, nbytes, tag)
+        req = _QueuedRequest(
+            seq=self._seq,
+            src=src,
+            dst=dst,
+            nbytes=nbytes,
+            tag=tag,
+            event=self.engine.event(),
+            enqueued_at=self.engine.now,
+        )
+        self._queue.append(req)
+        depth = len(self._queue)
+        if depth > self.peak_queue_depth:
+            self.peak_queue_depth = depth
+        obs = self.context.obs
+        if obs is not None:
+            m = obs.metrics
+            m.counter("transfer_manager.queued").inc()
+            m.gauge("transfer_manager.queue_depth").set(depth)
+        return req.event
+
+    # ------------------------------------------------------------------
+    def _can_admit(self, src: int, dst: int) -> bool:
+        cfg = self.config
+        if (
+            cfg.max_inflight_total is not None
+            and self._inflight_total >= cfg.max_inflight_total
+        ):
+            return False
+        if cfg.max_inflight_per_pair is not None:
+            if (
+                self._inflight_pair.get((src, dst), 0)
+                >= cfg.max_inflight_per_pair
+            ):
+                return False
+        return True
+
+    def _dispatch(self, src: int, dst: int, nbytes: int, tag: str) -> "Event":
+        pair = (src, dst)
+        self._inflight_pair[pair] = self._inflight_pair.get(pair, 0) + 1
+        self._inflight_total += 1
+        if self._inflight_total > self.peak_inflight:
+            self.peak_inflight = self._inflight_total
+        obs = self.context.obs
+        if obs is not None:
+            obs.metrics.gauge("transfer_manager.inflight").set(self._inflight_total)
+        ev = self.context.cuda_ipc.start_put(src, dst, nbytes, tag=tag)
+        ev.add_callback(lambda e, pair=pair: self._on_done(pair, e))
+        return ev
+
+    def _on_done(self, pair: tuple[int, int], ev: "Event") -> None:
+        self._inflight_total -= 1
+        left = self._inflight_pair.get(pair, 0) - 1
+        if left > 0:
+            self._inflight_pair[pair] = left
+        else:
+            self._inflight_pair.pop(pair, None)
+        if ev.ok:
+            self.completed += 1
+        else:
+            self.failed += 1
+        obs = self.context.obs
+        if obs is not None:
+            obs.metrics.gauge("transfer_manager.inflight").set(self._inflight_total)
+        self._pump()
+
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        """Dispatch admissible queued requests in FIFO order.
+
+        A pair whose head request cannot be admitted blocks *that pair's*
+        later requests (preserving per-pair ordering) but not other pairs'.
+        """
+        if not self._queue:
+            return
+        remaining: list[_QueuedRequest] = []
+        blocked: set[tuple[int, int]] = set()
+        queue, self._queue = self._queue, []
+        for i, req in enumerate(queue):
+            if req is None:
+                continue  # coalesced into an earlier dispatch
+            pair = (req.src, req.dst)
+            if pair in blocked or not self._can_admit(req.src, req.dst):
+                blocked.add(pair)
+                remaining.append(req)
+                continue
+            members = self._collect_coalescible(queue, i, req)
+            self._dispatch_queued(req, members)
+        remaining.extend(r for r in self._queue if r is not None)
+        self._queue = remaining
+        obs = self.context.obs
+        if obs is not None:
+            obs.metrics.gauge("transfer_manager.queue_depth").set(len(self._queue))
+
+    def _collect_coalescible(
+        self, queue: list, index: int, head: _QueuedRequest
+    ) -> list[_QueuedRequest]:
+        """Later queued small messages of the head's pair, FIFO, merged.
+
+        The scan stops at the pair's first non-coalescible request so
+        coalescing can never reorder a pair's traffic.
+        """
+        threshold = self.config.coalesce_threshold
+        if threshold <= 0 or head.nbytes > threshold:
+            return []
+        members: list[_QueuedRequest] = []
+        for j in range(index + 1, len(queue)):
+            other = queue[j]
+            if other is None or (other.src, other.dst) != (head.src, head.dst):
+                continue
+            if other.nbytes > threshold:
+                break
+            members.append(other)
+            queue[j] = None
+        return members
+
+    def _dispatch_queued(
+        self, req: _QueuedRequest, members: list[_QueuedRequest]
+    ) -> None:
+        now = self.engine.now
+        group = [req, *members]
+        total = sum(r.nbytes for r in group)
+        obs = self.context.obs
+        if members:
+            self.coalesced_requests += len(members)
+            self.coalesced_bytes += sum(m.nbytes for m in members)
+            if obs is not None:
+                m = obs.metrics
+                m.counter("transfer_manager.coalesced_requests").inc(len(members))
+                m.counter("transfer_manager.coalesced_bytes").inc(
+                    sum(mm.nbytes for mm in members)
+                )
+        for r in group:
+            waited = now - r.enqueued_at
+            self.queue_time_total += waited
+            if obs is not None:
+                obs.metrics.histogram("transfer_manager.queue_time").observe(waited)
+                obs.spans.record(
+                    r.tag or f"req{r.seq}",
+                    "queue",
+                    f"queue:{r.src}->{r.dst}",
+                    r.enqueued_at,
+                    now,
+                    seq=r.seq,
+                    src=r.src,
+                    dst=r.dst,
+                    nbytes=r.nbytes,
+                    coalesced=len(group) > 1,
+                )
+        self.dispatched_queued += len(group)
+        put = self._dispatch(req.src, req.dst, total, req.tag)
+
+        def settle(ev, group=group, merged=bool(members)):
+            if ev.ok:
+                result = ev.value
+                for r in group:
+                    r.event.succeed(
+                        replace(result, nbytes=r.nbytes) if merged else result
+                    )
+            else:
+                for r in group:
+                    r.event.fail(ev._exception)
+
+        put.add_callback(settle)
+
+    # ------------------------------------------------------------------
+    def stats_snapshot(self) -> dict:
+        """Structured run statistics, pulled by a metrics collector."""
+        return {
+            "submitted": self.submitted,
+            "dispatched_direct": self.dispatched_direct,
+            "dispatched_queued": self.dispatched_queued,
+            "completed": self.completed,
+            "failed": self.failed,
+            "queue_depth": len(self._queue),
+            "peak_queue_depth": self.peak_queue_depth,
+            "inflight": self._inflight_total,
+            "peak_inflight": self.peak_inflight,
+            "coalesced_requests": self.coalesced_requests,
+            "coalesced_bytes": self.coalesced_bytes,
+            "queue_time_total": self.queue_time_total,
+            "load": self.load.stats_snapshot(),
+        }
+
+
+__all__ = ["TransferManager"]

@@ -66,7 +66,13 @@ class TransferResult:
 
     @property
     def bandwidth(self) -> float:
-        return self.nbytes / self.duration if self.duration > 0 else float("inf")
+        """Mean bandwidth; 0.0 for zero-duration (and zero-byte) transfers.
+
+        A zero-duration result means nothing actually moved in measurable
+        time; reporting 0.0 instead of inf keeps downstream aggregation
+        (means, JSON dumps) finite.
+        """
+        return self.nbytes / self.duration if self.duration > 0 else 0.0
 
 
 class Channel:

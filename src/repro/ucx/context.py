@@ -14,6 +14,7 @@ from repro.core.path_health import PathHealthRegistry
 from repro.core.planner import PathPlanner
 from repro.gpu.runtime import GPURuntime
 from repro.obs import DriftController, Observability
+from repro.runtime import TransferManager
 from repro.sim.engine import Engine
 from repro.sim.trace import Tracer
 from repro.topology.node import NodeTopology
@@ -65,6 +66,10 @@ class UCXContext:
         # planning and their cached plans dropped (see cuda_ipc recovery).
         self.health = PathHealthRegistry(on_quarantine=self._on_quarantine)
         self.cuda_ipc = CudaIpcModule(self)
+        # The transfer service: every put (direct, endpoint, MPI, bench)
+        # is admitted here; it reads self.config live, so reconfigure()
+        # changes admission/coalescing behaviour without a swap.
+        self.transfers = TransferManager(self)
         self._endpoints: dict[tuple[int, int], Endpoint] = {}
         if obs is not None:
             if obs.autotune and tracer is not None and obs.drift is None:
@@ -105,6 +110,9 @@ class UCXContext:
         )
         m.register_collector("model_error", obs.errors.summary)
         m.register_collector("path_health", self.health.snapshot)
+        m.register_collector(
+            "transfer_manager", lambda: self.transfers.stats_snapshot()
+        )
         if obs.drift is not None:
             m.register_collector("drift", obs.drift.summary)
 
@@ -119,8 +127,8 @@ class UCXContext:
         return ep
 
     def put(self, src: int, dst: int, nbytes: int, *, tag: str = ""):
-        """Convenience passthrough to the cuda_ipc module."""
-        return self.cuda_ipc.put(src, dst, nbytes, tag=tag)
+        """Submit a transfer to the service (value: PutResult)."""
+        return self.transfers.submit(src, dst, nbytes, tag=tag)
 
     def reconfigure(self, config: TransportConfig) -> None:
         """Swap the transport configuration (planner knobs follow).

@@ -73,9 +73,26 @@ class CudaIpcModule:
 
     # ------------------------------------------------------------------
     def put(self, src: int, dst: int, nbytes: int, *, tag: str = "") -> Event:
-        """One-sided PUT; returns the process event (value: PutResult)."""
+        """One-sided PUT; returns the process event (value: PutResult).
+
+        Every put routes through the context's :class:`TransferManager`
+        (admission control, coalescing, load tracking); the manager calls
+        back into :meth:`start_put` to issue the actual transfer.
+        """
         if nbytes < 0:
             raise ValueError("negative PUT size")
+        manager = getattr(self.context, "transfers", None)
+        if manager is None:  # standalone module (no service wired): direct
+            return self.start_put(src, dst, nbytes, tag=tag)
+        return manager.submit(src, dst, nbytes, tag=tag)
+
+    def start_put(self, src: int, dst: int, nbytes: int, *, tag: str = "") -> Event:
+        """Issue a PUT directly, bypassing the transfer service.
+
+        This is the pre-service issue path, kept as the manager's dispatch
+        target and as the bit-identity reference for tests.  Application
+        code should call :meth:`put`.
+        """
         self.puts_issued += 1
         return self.context.engine.process(
             self._put_proc(src, dst, nbytes, tag, self.puts_issued),
@@ -159,6 +176,13 @@ class CudaIpcModule:
         resilient = cfg.max_path_retries > 0 or cfg.deadline_factor is not None
         health = ctx.health
         obs = ctx.obs
+        # The service's load tracker: each execution round registers its
+        # plan's per-channel footprint so other transfers planning while
+        # this one moves bytes see the fabric as loaded.  Acquired *after*
+        # planning (a transfer never derates against itself), released as
+        # soon as the round settles (recovery replans against current load).
+        manager = getattr(ctx, "transfers", None)
+        tracker = manager.load if manager is not None else None
         exec_start = engine.now
         retries = 0
         delivered = 0
@@ -168,14 +192,21 @@ class CudaIpcModule:
         current = plan
         attempt_label = label
         while True:
-            if resilient:
-                settled = yield ctx.pipeline.execute_settled(
-                    current, tag=attempt_label, deadline_factor=cfg.deadline_factor
-                )
-                execs, faults = settled.executions, settled.faults
-            else:
-                execs = yield ctx.pipeline.execute(current, tag=attempt_label)
-                faults = ()
+            hold = tracker.acquire(current) if tracker is not None else None
+            try:
+                if resilient:
+                    settled = yield ctx.pipeline.execute_settled(
+                        current,
+                        tag=attempt_label,
+                        deadline_factor=cfg.deadline_factor,
+                    )
+                    execs, faults = settled.executions, settled.faults
+                else:
+                    execs = yield ctx.pipeline.execute(current, tag=attempt_label)
+                    faults = ()
+            finally:
+                if hold is not None:
+                    tracker.release(hold)
             delivered += sum(e.nbytes for e in execs)
             delivered += sum(f.delivered for f in faults)
             if health is not None:
@@ -312,6 +343,20 @@ class CudaIpcModule:
         }
 
     # ------------------------------------------------------------------
+    def _load_snapshot(self):
+        """Current-load snapshot for planning, or None (contention-blind).
+
+        Only consulted when ``contention_aware`` is on; the snapshot is
+        taken at plan time, so the recovery loop's replans automatically
+        price the fabric as it is *now*, not as it was at submission.
+        """
+        if not self.context.config.contention_aware:
+            return None
+        manager = getattr(self.context, "transfers", None)
+        if manager is None:
+            return None
+        return manager.load.snapshot()
+
     def _dynamic_plan(self, src: int, dst: int, nbytes: int) -> TransferPlan:
         """Planner invocation with quarantined paths excluded.
 
@@ -323,6 +368,7 @@ class CudaIpcModule:
         ctx = self.context
         cfg = ctx.config
         exclude = cfg.exclude_paths
+        load = self._load_snapshot()
         health = ctx.health
         if health is not None:
             quarantined = health.excluded(src, dst, now=ctx.engine.now)
@@ -336,6 +382,7 @@ class CudaIpcModule:
                         include_host=cfg.include_host,
                         max_gpu_staged=cfg.max_gpu_staged,
                         exclude=merged,
+                        load=load,
                     )
                 except ValueError:
                     pass  # everything quarantined: use the configured set
@@ -346,6 +393,7 @@ class CudaIpcModule:
             include_host=cfg.include_host,
             max_gpu_staged=cfg.max_gpu_staged,
             exclude=exclude,
+            load=load,
         )
 
     def _replan(
@@ -381,7 +429,9 @@ class CudaIpcModule:
             # Paths we are about to retry despite an earlier failure are
             # forgiven, so a later fault on them counts as fresh.
             failed_paths -= {p.path_id for p in paths}
-            return ctx.planner.plan_for_paths(src, dst, remaining, paths)
+            return ctx.planner.plan_for_paths(
+                src, dst, remaining, paths, load=self._load_snapshot()
+            )
         return None
 
     # ------------------------------------------------------------------

@@ -32,11 +32,11 @@ class Endpoint:
         """Start a one-sided PUT; the event's value is a PutResult."""
         self.puts += 1
         self.bytes_put += nbytes
-        return self.context.cuda_ipc.put(self.src, self.dst, nbytes, tag=tag)
+        return self.context.transfers.submit(self.src, self.dst, nbytes, tag=tag)
 
     def get(self, nbytes: int, *, tag: str = "") -> Event:
         """One-sided GET: data flows dst→src."""
-        return self.context.cuda_ipc.put(self.dst, self.src, nbytes, tag=tag)
+        return self.context.transfers.submit(self.dst, self.src, nbytes, tag=tag)
 
     def flush(self) -> Event:
         """Barrier over this pair's pipeline streams."""

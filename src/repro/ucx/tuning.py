@@ -50,6 +50,13 @@ class TransportConfig:
     max_path_retries: int = 3  # replans of a put's remaining bytes
     retry_backoff: float = 25 * us  # first backoff; doubles per retry
     deadline_factor: float | None = None  # per-path watchdog: T_i x factor
+    # Transfer service (see DESIGN.md §5e).  All off by default: the
+    # TransferManager then dispatches synchronously and plans at idle load,
+    # keeping single-transfer timelines bit-identical to the legacy path.
+    contention_aware: bool = False  # plan against live load (beta/(1+load))
+    max_inflight_total: int | None = None  # global admission cap
+    max_inflight_per_pair: int | None = None  # per-(src,dst) admission cap
+    coalesce_threshold: int = 0  # queued same-pair puts <= this merge (0=off)
 
     def __post_init__(self) -> None:
         if self.rndv_threshold < 0:
@@ -64,6 +71,12 @@ class TransportConfig:
             raise ValueError("retry_backoff must be >= 0")
         if self.deadline_factor is not None and self.deadline_factor <= 1.0:
             raise ValueError("deadline_factor must be > 1 (or None to disable)")
+        if self.max_inflight_total is not None and self.max_inflight_total < 1:
+            raise ValueError("max_inflight_total must be >= 1 (or None)")
+        if self.max_inflight_per_pair is not None and self.max_inflight_per_pair < 1:
+            raise ValueError("max_inflight_per_pair must be >= 1 (or None)")
+        if self.coalesce_threshold < 0:
+            raise ValueError("coalesce_threshold must be >= 0")
         total = sum(s.fraction for s in self.static_shares)
         if self.static_shares and abs(total - 1.0) > 1e-6:
             raise ValueError(f"static shares must sum to 1, got {total}")
@@ -101,6 +114,7 @@ class TransportConfig:
             include_host=flag("UCX_MP_INCLUDE_HOST", True),
             pipelining=flag("UCX_MP_PIPELINE", True),
             sequential_initiation=flag("UCX_MP_SEQ_INIT", True),
+            contention_aware=flag("UCX_MP_CONTENTION_AWARE", False),
         )
         if "UCX_MP_MAX_GPU_STAGED" in env:
             cfg = cfg.with_(max_gpu_staged=int(env["UCX_MP_MAX_GPU_STAGED"]))
@@ -120,6 +134,17 @@ class TransportConfig:
             cfg = cfg.with_(
                 deadline_factor=None if raw in ("", "none", "off") else float(raw)
             )
+
+        def cap(key: str) -> int | None:
+            raw = env[key].strip().lower()
+            return None if raw in ("", "none", "off", "inf") else int(raw)
+
+        if "UCX_MP_MAX_INFLIGHT" in env:
+            cfg = cfg.with_(max_inflight_total=cap("UCX_MP_MAX_INFLIGHT"))
+        if "UCX_MP_MAX_INFLIGHT_PAIR" in env:
+            cfg = cfg.with_(max_inflight_per_pair=cap("UCX_MP_MAX_INFLIGHT_PAIR"))
+        if "UCX_MP_COALESCE" in env:
+            cfg = cfg.with_(coalesce_threshold=parse_size(env["UCX_MP_COALESCE"]))
         return cfg
 
 

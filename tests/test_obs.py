@@ -259,6 +259,85 @@ class TestPlannerDecisionLog:
         assert planner.obs is None
 
 
+class TestDecisionLogRing:
+    """The decision log is a bounded ring with exact running totals."""
+
+    def _log_and_plan(self, capacity):
+        from repro.obs.decision_log import PlannerDecisionLog
+
+        setup = get_setup("beluga")
+        planner = PathPlanner(setup.topology, setup.store)
+        plan = planner.plan(0, 1, 8 * MiB)
+        return PlannerDecisionLog(capacity=capacity), plan
+
+    def test_default_capacity(self):
+        from repro.obs.decision_log import DEFAULT_CAPACITY, PlannerDecisionLog
+
+        log = PlannerDecisionLog()
+        assert log.capacity == DEFAULT_CAPACITY == 10_000
+
+    def test_eviction_counts_dropped(self):
+        log, plan = self._log_and_plan(capacity=5)
+        for _ in range(12):
+            log.log_plan(plan, cache_hit=False, wall_time_s=1e-5)
+        assert len(log) == 5  # ring never exceeds capacity
+        assert log.dropped == 7
+        assert log.total_decisions == 12
+        # the retained window is the *most recent* decisions
+        assert [r.seq for r in log.records] == [7, 8, 9, 10, 11]
+
+    def test_totals_exact_after_eviction(self):
+        log, plan = self._log_and_plan(capacity=3)
+        for i in range(10):
+            log.log_plan(plan, cache_hit=(i % 2 == 0), wall_time_s=0.5)
+        assert log.cache_hits == 5  # hits from evicted entries still counted
+        assert log.cache_hit_rate == pytest.approx(0.5)
+        assert log.total_wall_time() == pytest.approx(5.0)
+        s = log.summary()
+        assert s["decisions"] == 10
+        assert s["retained"] == 3
+        assert s["dropped"] == 7
+        assert s["cache_hits"] == 5
+
+    def test_unbounded_when_capacity_none(self):
+        log, plan = self._log_and_plan(capacity=None)
+        for _ in range(50):
+            log.log_plan(plan, cache_hit=False, wall_time_s=0.0)
+        assert len(log) == 50
+        assert log.dropped == 0
+
+    def test_invalid_capacity_rejected(self):
+        from repro.obs.decision_log import PlannerDecisionLog
+
+        with pytest.raises(ValueError):
+            PlannerDecisionLog(capacity=0)
+
+    def test_load_bucket_field_serialized(self):
+        log, plan = self._log_and_plan(capacity=5)
+        log.log_plan(plan, cache_hit=False, wall_time_s=0.0, load_bucket=4)
+        rec = json.loads(log.to_jsonl().splitlines()[-1])
+        assert rec["load_bucket"] == 4
+
+    def test_clear_resets_everything(self):
+        log, plan = self._log_and_plan(capacity=2)
+        for _ in range(5):
+            log.log_plan(plan, cache_hit=True, wall_time_s=1.0)
+        log.clear()
+        assert len(log) == 0
+        assert log.total_decisions == log.dropped == log.cache_hits == 0
+        assert log.summary()["total_wall_time_s"] == 0.0
+
+    def test_dropped_surfaces_in_context_collector(self):
+        """The planner collector exposes the ring-buffer drop count."""
+        setup = get_setup("beluga")
+        env = setup.env(dynamic_config(), observe=True)
+        _, ctx, _ = env.fresh()
+        snap = ctx.obs.metrics.snapshot()
+        planner_stats = snap["planner"]
+        assert "dropped" in planner_stats
+        assert planner_stats["dropped"] == 0
+
+
 class TestInstrumentedRun:
     """Acceptance criteria: snapshot contents after an osu_bw run."""
 
