@@ -3,6 +3,10 @@
 Times the three hot layers this repo's results depend on and writes a
 machine-readable ``BENCH_sim.json``:
 
+* **engine_core** — raw event-loop throughput with no solver attached:
+  timeout chains, generator-process ping-pong, and cancellation churn
+  against the slab-backed heap.  This is the series the ≥100k events/s
+  roadmap target is measured on.
 * **solver** — a synthetic fluid-solver workload (contended waves over
   shared channels + disjoint back-to-back chains) run through
   :class:`~repro.sim.fabric.Fabric` twice: with the incremental solver and
@@ -38,15 +42,86 @@ from repro.sim.engine import Engine
 from repro.sim.fabric import Fabric
 from repro.units import MiB
 
-PERF_SUITE_VERSION = 1
+PERF_SUITE_VERSION = 2
 
 #: Series compared against the baseline by :func:`check_regression`:
 #: (json path, human label).  All are "higher is better" throughputs.
 GATED_SERIES = (
+    (("engine_core", "events_per_sec"), "engine core event throughput"),
     (("solver", "events_per_sec"), "solver microbench throughput"),
     (("solver", "speedup_vs_full_recompute"), "incremental solver speedup"),
     (("planner", "cached_lookups_per_sec"), "cached planner lookups"),
 )
+
+
+# ----------------------------------------------------------------------
+# Engine-core microbenchmark (no fabric attached)
+# ----------------------------------------------------------------------
+
+def _engine_workload(
+    *, chains: int, chain_length: int, procs: int, hops: int, churn: int
+) -> dict:
+    """Pure event-loop churn: measures the slab heap with no solver cost.
+
+    Three concurrent stressors cover the engine's distinct hot paths:
+
+    * *timeout chains* — ``chains`` callback chains each rescheduling
+      ``chain_length`` times (the ``schedule_fn``/callback fast path);
+    * *process ping-pong* — ``procs`` generator processes yielding
+      ``hops`` timeouts each (the Process/Event facade path);
+    * *cancellation churn* — ``churn`` events scheduled far in the
+      future and cancelled immediately (tombstoning + compaction).
+    """
+    eng = Engine()
+
+    def rechain(remaining: int, step: float) -> None:
+        if remaining > 0:
+            eng.call_at(eng.now + step).add_callback(
+                lambda _ev: rechain(remaining - 1, step)
+            )
+
+    for c in range(chains):
+        rechain(chain_length, 1e-6 * (1 + c % 7))
+
+    def ping(n: int, delay: float):
+        for _ in range(n):
+            yield eng.timeout(delay)
+
+    for p in range(procs):
+        eng.process(ping(hops, 1.3e-6 * (1 + p % 5)))
+
+    for i in range(churn):
+        eng.cancel(eng.call_at(1.0 + i * 1e-6))
+
+    t_start = time.perf_counter()
+    eng.run()
+    wall = time.perf_counter() - t_start
+    snap = eng.stats_snapshot()
+    return {
+        "wall_s": wall,
+        "events_processed": snap["events_processed"],
+        "events_per_sec": snap["events_processed"] / wall if wall > 0 else 0.0,
+        "events_cancelled": snap["events_cancelled"],
+        "heap_compactions": snap["heap_compactions"],
+        "peak_queued": snap["peak_queued"],
+    }
+
+
+def bench_engine_core(*, quick: bool = False, repeats: int = 3) -> dict:
+    """Best-of-``repeats`` raw engine throughput (ROADMAP item 2 gate)."""
+    kw = dict(
+        chains=8 if quick else 16,
+        chain_length=2_000 if quick else 5_000,
+        procs=50 if quick else 100,
+        hops=200 if quick else 500,
+        churn=2_000 if quick else 10_000,
+    )
+    best = min(
+        (_engine_workload(**kw) for _ in range(max(1, repeats))),
+        key=lambda r: r["wall_s"],
+    )
+    best["workload"] = kw
+    return best
 
 
 # ----------------------------------------------------------------------
@@ -293,6 +368,7 @@ def run_suite(*, quick: bool = False, jobs: int | None = None) -> dict:
     return {
         "version": PERF_SUITE_VERSION,
         "quick": quick,
+        "engine_core": bench_engine_core(quick=quick),
         "solver": bench_solver(quick=quick),
         "fig5": bench_fig5(quick=quick, jobs=jobs),
         "planner": bench_planner(quick=quick),
@@ -335,6 +411,38 @@ def check_regression(
     return failures
 
 
+def write_profile(stem: Path) -> list[Path]:
+    """Profile the quick hot-path workloads; write flamegraph inputs.
+
+    Produces ``<stem>.prof`` (binary ``pstats`` dump — render a flamegraph
+    with ``flameprof``/``snakeviz``, or ``py-spy`` live on a dev box) and
+    ``<stem>.txt`` (top functions by cumulative time, reviewable straight
+    from the CI artifact without any tooling).
+    """
+    import cProfile
+    import io
+    import pstats
+
+    stem.parent.mkdir(parents=True, exist_ok=True)
+    profile = cProfile.Profile()
+    profile.enable()
+    _engine_workload(chains=8, chain_length=2_000, procs=50, hops=200, churn=2_000)
+    _solver_workload(
+        full_recompute=False, waves=3, flows_per_wave=30,
+        shared_channels=8, chain_channels=4, chain_length=50,
+    )
+    profile.disable()
+    prof_path = stem.with_suffix(".prof")
+    profile.dump_stats(prof_path)
+    buf = io.StringIO()
+    stats = pstats.Stats(profile, stream=buf)
+    stats.sort_stats("cumulative").print_stats(40)
+    stats.sort_stats("tottime").print_stats(20)
+    txt_path = stem.with_suffix(".txt")
+    txt_path.write_text(buf.getvalue())
+    return [prof_path, txt_path]
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-perfsuite", description="Simulator-core perf regression suite"
@@ -351,6 +459,12 @@ def main(argv: list[str] | None = None) -> int:
         default=0.30,
         help="max tolerated fractional throughput regression (default 0.30)",
     )
+    parser.add_argument(
+        "--profile",
+        metavar="STEM",
+        help="also cProfile the quick hot-path workloads and write "
+        "STEM.prof (flamegraph input) + STEM.txt (top functions)",
+    )
     args = parser.parse_args(argv)
 
     doc = run_suite(quick=args.quick, jobs=args.jobs)
@@ -358,6 +472,10 @@ def main(argv: list[str] | None = None) -> int:
     Path(args.output).write_text(text + "\n")
     print(text)
     print(f"wrote {args.output}", file=sys.stderr)
+
+    if args.profile:
+        for path in write_profile(Path(args.profile)):
+            print(f"wrote {path}", file=sys.stderr)
 
     if args.baseline:
         baseline = json.loads(Path(args.baseline).read_text())
@@ -379,11 +497,13 @@ def main(argv: list[str] | None = None) -> int:
 __all__ = [
     "PERF_SUITE_VERSION",
     "GATED_SERIES",
+    "bench_engine_core",
     "bench_solver",
     "bench_fig5",
     "bench_planner",
     "run_suite",
     "check_regression",
+    "write_profile",
     "main",
 ]
 

@@ -13,12 +13,39 @@ The engine follows the SimPy execution model (generator-based processes that
 Determinism: events scheduled for the same timestamp fire in scheduling
 order (a monotonically increasing sequence number breaks ties), so repeated
 runs of the same program produce identical timelines.
+
+Event core layout
+-----------------
+
+The heap holds compact ``(time, seq, slot)`` keys; everything else about a
+scheduled occurrence lives in a **free-listed slab** of parallel arrays
+indexed by ``slot`` (callback, callback argument, facade event, value).
+This keeps two hot paths cheap:
+
+* :meth:`Engine.schedule_fn` schedules a bare ``fn(arg)`` call with *no*
+  :class:`Event` allocation, no callback list and no closure — the fluid
+  fabric uses it for every admission timer and bandwidth wakeup.  It
+  returns an integer handle; :meth:`Engine.cancel_handle` tombstones the
+  slab slot in O(1) without touching the heap.
+* :meth:`Engine.run` drains the heap **one timestamp at a time**: all
+  entries sharing the front timestamp execute back-to-back, then the
+  engine's *flush hooks* run once before the clock moves.  Subscribers
+  (:meth:`add_flush_hook`) use this to coalesce per-event recomputation
+  into per-timestamp recomputation — see ``Fabric``'s deferred max-min
+  solve.  ``run(until=<Event>)`` still stops at the exact triggering
+  event, leaving the rest of its timestamp batch queued, so the
+  single-step semantics callers rely on are unchanged.
+
+Cancellation is lazy: a cancelled entry's slab slot is cleared immediately
+(O(1), references dropped) and the stale heap key is skipped — without
+advancing the clock — when popped; once tombstones dominate the heap it is
+compacted in one pass.
 """
 
 from __future__ import annotations
 
-import heapq
 from collections.abc import Generator, Iterable
+from heapq import heapify, heappop, heappush
 from typing import Any
 
 _PENDING = object()
@@ -44,6 +71,7 @@ class Event:
         "_exception",
         "triggered",
         "cancelled",
+        "_slot",
     )
 
     def __init__(self, engine: "Engine") -> None:
@@ -53,6 +81,7 @@ class Event:
         self._exception: BaseException | None = None
         self.triggered = False
         self.cancelled = False
+        self._slot = -1  # slab slot while scheduled on the heap
 
     # ------------------------------------------------------------------
     @property
@@ -92,9 +121,18 @@ class Event:
             cb(self)
 
     def add_callback(self, callback) -> None:
-        """Run ``callback(event)`` when triggered (immediately if already)."""
+        """Run ``callback(event)`` when triggered (immediately if already).
+
+        Registering on a *cancelled* event is an error: the event can never
+        trigger, so the callback would silently never run (the classic
+        symptom was a process yielding a cancelled event and deadlocking).
+        """
         if self.triggered:
             callback(self)
+        elif self.cancelled:
+            raise SimError(
+                "add_callback on a cancelled event: it will never trigger"
+            )
         else:
             self.callbacks.append(callback)
 
@@ -191,17 +229,22 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Event | None = None
         # Kick off on the next engine step at the current time.
-        start = Event(engine)
-        start.add_callback(self._resume)
-        engine._schedule(engine.now, start, None)
+        engine.schedule_fn(engine.now, self._start, None)
+
+    def _start(self, _arg: Any) -> None:
+        if not self.triggered:  # not failed/aborted before starting
+            self._step(None, None)
 
     def _resume(self, event: Event) -> None:
         self._waiting_on = None
+        self._step(event._value, event._exception)
+
+    def _step(self, value: Any, exception: BaseException | None) -> None:
         try:
-            if event.ok:
-                target = self.generator.send(event.value)
+            if exception is None:
+                target = self.generator.send(value)
             else:
-                target = self.generator.throw(event._exception)  # type: ignore[arg-type]
+                target = self.generator.throw(exception)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -219,6 +262,18 @@ class Process(Event):
                 )
             )
             return
+        if target.cancelled and not target.triggered:
+            # A cancelled event never triggers; registering would deadlock
+            # the process silently.  Fail loudly instead, inside the
+            # generator first so it can release resources via try/finally.
+            self.generator.close()
+            self.fail(
+                SimError(
+                    f"process {self.name!r} yielded a cancelled event; "
+                    "it would never resume"
+                )
+            )
+            return
         self._waiting_on = target
         target.add_callback(self._resume)
 
@@ -228,7 +283,7 @@ class Process(Event):
 
 
 class Engine:
-    """The simulation clock and event heap."""
+    """The simulation clock and the slab-backed event heap."""
 
     #: Tombstone compaction policy: rebuild the heap once cancelled entries
     #: are numerous in absolute terms *and* make up at least half of it.
@@ -236,10 +291,24 @@ class Engine:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, Event, Any]] = []
+        # Binary heap of (time, seq, slot) keys; seq breaks same-time ties
+        # in scheduling order, slot indexes the slab below.
+        self._heap: list[tuple[float, int, int]] = []
         self._seq = 0
+        # Free-listed slab: parallel arrays, one slot per pending entry.
+        # A slot holds either a bare callback (fn is not None) or a facade
+        # Event (ev is not None); both None marks a tombstone.  Slots are
+        # recycled only when their heap key is popped or compacted away, so
+        # a stale key can never alias a reused slot.
+        self._slot_fn: list = []
+        self._slot_arg: list = []
+        self._slot_ev: list = []
+        self._slot_val: list = []
+        self._free_slots: list[int] = []
         self._running = False
         self._tombstones = 0
+        self._live = 0  # non-tombstoned heap entries
+        self._flush_hooks: list = []
         self.events_processed = 0
         self.events_cancelled = 0
         self.heap_compactions = 0
@@ -266,13 +335,56 @@ class Engine:
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
+    def _alloc_slot(self, fn, arg, ev, val) -> int:
+        free = self._free_slots
+        if free:
+            slot = free.pop()
+            self._slot_fn[slot] = fn
+            self._slot_arg[slot] = arg
+            self._slot_ev[slot] = ev
+            self._slot_val[slot] = val
+        else:
+            slot = len(self._slot_fn)
+            self._slot_fn.append(fn)
+            self._slot_arg.append(arg)
+            self._slot_ev.append(ev)
+            self._slot_val.append(val)
+        return slot
+
+    def _free_slot(self, slot: int) -> None:
+        self._slot_fn[slot] = None
+        self._slot_arg[slot] = None
+        self._slot_ev[slot] = None
+        self._slot_val[slot] = None
+        self._free_slots.append(slot)
+
     def _schedule(self, at: float, event: Event, value: Any) -> None:
         if at < self.now:
             raise SimError(f"cannot schedule in the past ({at} < {self.now})")
         self._seq += 1
-        heapq.heappush(self._heap, (at, self._seq, event, value))
-        if len(self._heap) > self.peak_queued:
-            self.peak_queued = len(self._heap)
+        slot = self._alloc_slot(None, None, event, value)
+        event._slot = slot
+        heappush(self._heap, (at, self._seq, slot))
+        self._live += 1
+        if self._live > self.peak_queued:
+            self.peak_queued = self._live
+
+    def schedule_fn(self, at: float, fn, arg: Any = None) -> int:
+        """Schedule a bare ``fn(arg)`` call at time ``at`` (>= now).
+
+        The fast scheduling path: no :class:`Event` is allocated and no
+        callback list is built.  Returns an integer handle accepted by
+        :meth:`cancel_handle`.
+        """
+        if at < self.now:
+            raise SimError(f"cannot schedule in the past ({at} < {self.now})")
+        self._seq += 1
+        slot = self._alloc_slot(fn, arg, None, None)
+        heappush(self._heap, (at, self._seq, slot))
+        self._live += 1
+        if self._live > self.peak_queued:
+            self.peak_queued = self._live
+        return slot
 
     def call_at(self, at: float) -> Event:
         """An event succeeding at absolute time ``at`` (>= now)."""
@@ -280,41 +392,124 @@ class Engine:
         self._schedule(at, ev, None)
         return ev
 
+    # ------------------------------------------------------------------
+    # Cancellation
+    # ------------------------------------------------------------------
     def cancel(self, event: Event) -> bool:
         """Lazily cancel a pending scheduled event (tombstone it).
 
-        The heap entry is skipped when popped instead of being triggered;
-        once tombstones dominate the heap it is compacted in one pass.
-        Returns False (a no-op) for events already triggered or cancelled.
+        The slab slot is cleared immediately; the stale heap key is skipped
+        — without advancing the clock — when popped.  Once tombstones
+        dominate the heap it is compacted in one pass.  Returns False (a
+        no-op) for events already triggered or cancelled.
         """
         if event.triggered or event.cancelled:
             return False
         event.cancelled = True
+        slot = event._slot
+        if slot >= 0 and self._slot_ev[slot] is event:
+            self._slot_ev[slot] = None
+            self._slot_val[slot] = None
+            self._tombstone()
         self.events_cancelled += 1
+        return True
+
+    def cancel_handle(self, handle: int) -> bool:
+        """Cancel a pending :meth:`schedule_fn` entry by its handle.
+
+        O(1): clears the slab slot; the heap key dies lazily.  Returns
+        False if the entry already fired or was already cancelled.
+        """
+        if self._slot_fn[handle] is None:
+            return False
+        self._slot_fn[handle] = None
+        self._slot_arg[handle] = None
+        self._tombstone()
+        self.events_cancelled += 1
+        return True
+
+    def _tombstone(self) -> None:
+        self._live -= 1
         self._tombstones += 1
         if (
             self._tombstones >= self._COMPACT_MIN_TOMBSTONES
             and 2 * self._tombstones >= len(self._heap)
         ):
-            self._heap = [item for item in self._heap if not item[2].cancelled]
-            heapq.heapify(self._heap)
+            fns, evs = self._slot_fn, self._slot_ev
+            keep, drop = [], []
+            for item in self._heap:
+                slot = item[2]
+                if fns[slot] is None and evs[slot] is None:
+                    drop.append(slot)
+                else:
+                    keep.append(item)
+            self._heap = keep
+            heapify(keep)
+            for slot in drop:
+                self._free_slot(slot)
             self._tombstones = 0
             self.heap_compactions += 1
-        return True
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def step(self) -> None:
-        at, _, event, value = heapq.heappop(self._heap)
-        self.now = at
-        if event.cancelled:
+    def add_flush_hook(self, hook) -> None:
+        """Register ``hook()`` to run after each drained timestamp batch.
+
+        :meth:`run` executes every heap entry sharing the front timestamp,
+        then calls the hooks once before the clock can advance — letting
+        subscribers coalesce per-event work (e.g. fluid-rate recomputation)
+        into per-timestamp work.  Hooks also run when ``run`` returns
+        mid-batch (``until=<Event>`` triggering), so observers always see
+        flushed state.  Hooks must be cheap no-ops when there is nothing
+        pending.
+        """
+        self._flush_hooks.append(hook)
+
+    def _exec(self, at: float, slot: int) -> bool:
+        """Execute one popped live heap entry; False for a tombstone.
+
+        The clock only advances for live entries: a tombstone's timestamp
+        was cancelled and must never become ``now`` (previously the final
+        clock could reflect a cancelled wakeup that never fired).
+        """
+        fn = self._slot_fn[slot]
+        if fn is not None:
+            arg = self._slot_arg[slot]
+            self._free_slot(slot)
+            self.now = at
+            self._live -= 1
+            self.events_processed += 1
+            fn(arg)
+            return True
+        ev = self._slot_ev[slot]
+        if ev is None:  # tombstone
+            self._free_slot(slot)
             if self._tombstones > 0:
                 self._tombstones -= 1
-            return
+            return False
+        value = self._slot_val[slot]
+        ev._slot = -1
+        self._free_slot(slot)
+        self.now = at
+        self._live -= 1
         self.events_processed += 1
-        if not event.triggered:
-            event.succeed(value)
+        if not ev.triggered:
+            ev.succeed(value)
+        return True
+
+    def step(self) -> None:
+        """Pop and execute a single heap entry (tombstones are skipped
+        without advancing the clock).  Prefer :meth:`run`, which batches
+        same-timestamp entries and runs the flush hooks."""
+        at, _, slot = heappop(self._heap)
+        self._exec(at, slot)
+        for hook in self._flush_hooks:
+            hook()
+
+    def _flush(self) -> None:
+        for hook in self._flush_hooks:
+            hook()
 
     def run(self, until: float | Event | None = None) -> Any:
         """Run until the heap drains, a deadline passes, or an event fires.
@@ -328,25 +523,58 @@ class Engine:
         if self._running:
             raise SimError("engine is not reentrant")
         self._running = True
+        heap = self._heap
+        hooks = self._flush_hooks
         try:
             if isinstance(until, Event):
                 while not until.triggered:
-                    if not self._heap:
+                    if not heap:
+                        self._flush()
+                        if until.triggered:  # a hook completed it
+                            break
+                        if heap:  # a hook scheduled new work
+                            continue
                         raise SimError(
                             "deadlock: event heap empty before target event "
                             "triggered"
                         )
-                    self.step()
+                    # Drain the front timestamp batch, but stop at the exact
+                    # entry that triggers `until`: the rest of its batch
+                    # stays queued, preserving single-step semantics for
+                    # callers that interleave run() with direct state reads.
+                    at, _, slot = heappop(heap)
+                    ran = self._exec(at, slot)
+                    while (
+                        not until.triggered
+                        and heap
+                        and heap[0][0] == at
+                    ):
+                        _, _, slot = heappop(heap)
+                        ran = self._exec(at, slot) or ran
+                    if ran and hooks:
+                        self._flush()
                 if until._exception is not None:
                     raise until._exception
                 return until.value
             if until is None:
-                while self._heap:
-                    self.step()
+                while heap:
+                    at, _, slot = heappop(heap)
+                    ran = self._exec(at, slot)
+                    while heap and heap[0][0] == at:
+                        _, _, slot = heappop(heap)
+                        ran = self._exec(at, slot) or ran
+                    if ran and hooks:
+                        self._flush()
                 return None
             deadline = float(until)
-            while self._heap and self._heap[0][0] <= deadline:
-                self.step()
+            while heap and heap[0][0] <= deadline:
+                at, _, slot = heappop(heap)
+                ran = self._exec(at, slot)
+                while heap and heap[0][0] == at:
+                    _, _, slot = heappop(heap)
+                    ran = self._exec(at, slot) or ran
+                if ran and hooks:
+                    self._flush()
             self.now = max(self.now, deadline)
             return None
         finally:
@@ -357,7 +585,11 @@ class Engine:
         return len(self._heap)
 
     def stats_snapshot(self) -> dict:
-        """Cheap always-on counters, pulled by a metrics collector."""
+        """Cheap always-on counters, pulled by a metrics collector.
+
+        ``peak_queued`` counts *live* entries only: tombstoned (cancelled)
+        keys awaiting lazy removal are queue residue, not backlog.
+        """
         return {
             "now": self.now,
             "events_processed": self.events_processed,

@@ -20,18 +20,39 @@ precisely the prediction error the paper reports in §5.
 Solver performance
 ------------------
 
-The solver is *incremental*: the channel→flows membership index and the
-per-channel live-flow counts are maintained on admit/finish instead of
-being rebuilt per recompute, and a full progressive-filling pass is skipped
-entirely when a change is provably local — a flow whose channels carry no
-other live flow cannot perturb anyone else's max-min rate, so its rate is
-simply the minimum β over its channels.  Stale bandwidth-phase wakeups are
-lazily cancelled out of the :class:`~repro.sim.engine.Engine` heap
-(tombstones + periodic compaction) instead of accumulating until their
-timestamps pass.  None of this changes a single simulated timestamp: the
-pre-optimisation full-recompute path is kept behind the ``full_recompute``
-debug flag (see :data:`FULL_RECOMPUTE_DEFAULT`) and a regression test
-asserts bit-identical completion times and tracer records between the two.
+Three layers keep the hot paths flat:
+
+* **Struct-of-arrays flow state.**  An admitted flow is a *slot* into
+  parallel arrays (``rate``, ``remaining``, completion epsilon, solve mark,
+  channel-index tuple), allocated from a free list.  Progress integration
+  (:meth:`Fabric._sync`), progressive filling (:meth:`Fabric._max_min_rates`)
+  and wakeup arming read and write flat floats indexed by slot and by
+  integer channel id — no dataclass attribute chasing in the inner loops.
+  The :class:`FabricFlow` object survives as the API facade (tags,
+  completion events, failure predicates); its ``rate``/``remaining``
+  mirrors are refreshed on exposure via :meth:`Fabric.flows_on`.
+* **Incremental membership.**  The per-channel member index and live-flow
+  counts are maintained on admit/finish instead of rebuilt per recompute,
+  and a full progressive-filling pass is skipped entirely when a change is
+  provably local — a flow whose channels carry no other live flow cannot
+  perturb anyone else's max-min rate, so its rate is simply the minimum β
+  over its channels.
+* **Per-timestamp batched recomputation.**  Shared-channel admits arriving
+  at the same simulated timestamp no longer trigger one solve each: the
+  admit marks the fabric dirty and the engine's end-of-timestamp flush hook
+  (see :meth:`~repro.sim.engine.Engine.add_flush_hook`) runs a single solve
+  once the batch has drained.  Intermediate solves were unobservable — no
+  simulated time passes inside a batch and every intermediate wakeup was
+  invalidated — so the final rates, and therefore every timestamp, are
+  unchanged.  Stale bandwidth-phase wakeups are cancelled out of the engine
+  heap in O(1) by slab handle.
+
+None of this changes a single simulated timestamp: the pre-optimisation
+full-recompute path is kept behind the ``full_recompute`` debug flag (see
+:data:`FULL_RECOMPUTE_DEFAULT`) — eager per-admit solves, full membership
+scans, stale wakeups left to no-op — and regression tests assert
+bit-identical completion times and tracer records between the two across
+randomized contention and fault scenarios.
 """
 
 from __future__ import annotations
@@ -83,6 +104,13 @@ class FabricChannel:
 
 @dataclass
 class FabricFlow:
+    """API facade over one copy's solver state.
+
+    For admitted flows the authoritative ``rate``/``remaining`` live in the
+    fabric's slot arrays; the fields here are mirrors refreshed when the
+    flow is exposed through :meth:`Fabric.flows_on`.
+    """
+
     flow_id: int
     channels: tuple[str, ...]
     remaining: float
@@ -95,9 +123,8 @@ class FabricFlow:
     admitted: bool = field(default=False)
     # Completion threshold, precomputed once (see Fabric._flow_done).
     done_eps: float = _EPS_BYTES
-    # Solver scratch: generation mark of the progressive-filling pass that
-    # froze this flow (avoids building an `unfrozen` set per solve).
-    solve_mark: int = field(default=-1, repr=False, compare=False)
+    # Slot into the fabric's struct-of-arrays while admitted; -1 otherwise.
+    slot: int = field(default=-1, repr=False, compare=False)
 
 
 class Fabric:
@@ -113,11 +140,28 @@ class Fabric:
         self.engine = engine
         self.tracer = tracer
         self.channels: dict[str, FabricChannel] = {}
-        self._flows: dict[int, FabricFlow] = {}
-        # Channel name -> {flow_id: None} of live flows crossing it, in
-        # admit order (dicts preserve insertion).  Maintained incrementally
-        # on admit/finish; keys whose membership empties are removed.
-        self._members: dict[str, dict[int, None]] = {}
+        # ----- channel struct-of-arrays (indexed by integer channel id)
+        self._ch_index: dict[str, int] = {}
+        self._ch_objs: list[FabricChannel] = []
+        #: per-channel {flow slot: None} of live flows, in admit order
+        self._ch_members: list[dict[int, None]] = []
+        #: channel ids with at least one live flow, in first-use order
+        self._act_ch: dict[int, None] = {}
+        # solver / sync scratch, one cell per channel
+        self._ch_cap: list[float] = []
+        self._ch_live: list[int] = []
+        self._ch_stamp: list[int] = []
+        self._ch_acc: list[float] = []
+        # ----- flow struct-of-arrays (indexed by free-listed slot)
+        self._f_rate: list[float] = []
+        self._f_rem: list[float] = []
+        self._f_eps: list[float] = []
+        self._f_mark: list[int] = []
+        self._f_chans: list[tuple[int, ...] | None] = []
+        self._f_obj: list[FabricFlow | None] = []
+        self._free_slots: list[int] = []
+        #: live (admitted) slots in admit order — the solver's flow set
+        self._live_slots: dict[int, None] = {}
         self._next_flow_id = 0
         # Flows issued (latency phase) but not yet admitted to the solver,
         # so aborts can reach copies still in their startup-latency window.
@@ -126,13 +170,17 @@ class Fabric:
         # and channels whose flows are frozen at zero progress.
         self._down: set[str] = set()
         self._stalled: set[str] = set()
+        self._stalled_ci: set[int] = set()
         self._last_sync = 0.0
+        self._sync_stamp = 0
         self._wakeup_generation = 0
         self._solve_mark = 0
-        self._pending_wakeup: Event | None = None
+        self._pending_wakeup: int | None = None
+        self._dirty = False
         self.full_recompute = (
             FULL_RECOMPUTE_DEFAULT if full_recompute is None else full_recompute
         )
+        engine.add_flush_hook(self._flush)
         # run-level counters (always on: one int add per flow / recompute)
         self.flows_admitted = 0
         self.flows_completed = 0
@@ -158,6 +206,13 @@ class Fabric:
             raise ValueError(f"duplicate channel {name!r}")
         ch = FabricChannel(name=name, alpha=alpha, beta=beta, jitter=jitter)
         self.channels[name] = ch
+        self._ch_index[name] = len(self._ch_objs)
+        self._ch_objs.append(ch)
+        self._ch_members.append({})
+        self._ch_cap.append(0.0)
+        self._ch_live.append(0)
+        self._ch_stamp.append(0)
+        self._ch_acc.append(0.0)
         return ch
 
     def set_beta(self, name: str, beta: float) -> None:
@@ -232,13 +287,9 @@ class Fabric:
         self._issued[flow.flow_id] = flow
         if nbytes == 0:
             self.zero_byte_copies += 1
-            self.engine.call_at(start + latency).add_callback(
-                lambda _ev, f=flow: self._finish(f)
-            )
+            self.engine.schedule_fn(start + latency, self._finish, flow)
             return done
-        self.engine.call_at(start + latency).add_callback(
-            lambda _ev, f=flow: self._admit(f)
-        )
+        self.engine.schedule_fn(start + latency, self._admit, flow)
         return done
 
     # ------------------------------------------------------------------
@@ -268,8 +319,8 @@ class Fabric:
             return 0
         self._down.add(name)
         self.channel_failures += 1
-        members = self._members.get(name)
-        victims = [self._flows[fid] for fid in members] if members else []
+        members = self._ch_members[self._ch_index[name]]
+        victims = [self._f_obj[s] for s in members]
         return self._fail_flows(
             victims,
             lambda f: LinkFailure(name, tag=f.tag, nbytes=f.nbytes),
@@ -289,6 +340,7 @@ class Fabric:
             return
         self._sync()
         self._stalled.add(name)
+        self._stalled_ci.add(self._ch_index[name])
         self.channel_stalls += 1
         self._recompute()
 
@@ -299,6 +351,7 @@ class Fabric:
             return
         self._sync()
         self._stalled.discard(name)
+        self._stalled_ci.discard(self._ch_index[name])
         self._recompute()
 
     def fail_flows_matching(
@@ -311,7 +364,9 @@ class Fabric:
         Used by deadline watchdogs to kill a path's in-flight copies by tag
         prefix.  Returns the number of flows failed.
         """
-        admitted = [f for f in self._flows.values() if predicate(f)]
+        admitted = [
+            f for s in self._live_slots if predicate(f := self._f_obj[s])
+        ]
         latent = [f for f in self._issued.values() if predicate(f)]
         n = self._fail_flows(admitted, make_exc)
         for flow in latent:
@@ -320,6 +375,28 @@ class Fabric:
                 flow.event.fail(make_exc(flow))
                 n += 1
         return n
+
+    def _remove_slot(self, flow: FabricFlow) -> bool:
+        """Drop an admitted flow from the slot arrays and member index.
+
+        Returns True when the removal is provably local (no channel of the
+        flow keeps another live flow).
+        """
+        slot = flow.slot
+        local = True
+        del self._live_slots[slot]
+        for ci in self._f_chans[slot]:
+            members = self._ch_members[ci]
+            members.pop(slot, None)
+            if members:
+                local = False
+            else:
+                self._act_ch.pop(ci, None)
+        self._f_chans[slot] = None
+        self._f_obj[slot] = None
+        self._free_slots.append(slot)
+        flow.slot = -1
+        return local
 
     def _fail_flows(
         self,
@@ -336,13 +413,8 @@ class Fabric:
             return 0
         self._sync()
         for flow in victims:
-            self._flows.pop(flow.flow_id, None)
-            for name in flow.channels:
-                members = self._members.get(name)
-                if members is not None:
-                    members.pop(flow.flow_id, None)
-                    if not members:
-                        del self._members[name]
+            if flow.slot >= 0:
+                self._remove_slot(flow)
         self._recompute()
         for flow in victims:
             self.flows_failed += 1
@@ -368,15 +440,37 @@ class Fabric:
         self._sync()
         flow.admitted = True
         self.flows_admitted += 1
-        self._flows[flow.flow_id] = flow
+        # allocate a slot in the flow arrays
+        free = self._free_slots
+        if free:
+            slot = free.pop()
+            self._f_rate[slot] = 0.0
+            self._f_rem[slot] = flow.remaining
+            self._f_eps[slot] = flow.done_eps
+            self._f_mark[slot] = -1
+        else:
+            slot = len(self._f_rate)
+            self._f_rate.append(0.0)
+            self._f_rem.append(flow.remaining)
+            self._f_eps.append(flow.done_eps)
+            self._f_mark.append(-1)
+            self._f_chans.append(None)
+            self._f_obj.append(None)
+        cis = tuple(self._ch_index[n] for n in flow.channels)
+        self._f_chans[slot] = cis
+        self._f_obj[slot] = flow
+        flow.slot = slot
+        self._live_slots[slot] = None
         disjoint = True
-        for name in flow.channels:
-            ch = self.channels[name]
+        ch_objs = self._ch_objs
+        ch_members = self._ch_members
+        for ci in cis:
+            ch = ch_objs[ci]
             ch.total_flows += 1
-            members = self._members.get(name)
-            if members is None:
-                members = self._members[name] = {}
-            members[flow.flow_id] = None
+            members = ch_members[ci]
+            if not members:
+                self._act_ch[ci] = None
+            members[slot] = None
             live = len(members)
             if live > 1:
                 disjoint = False
@@ -386,157 +480,182 @@ class Fabric:
             self._update_concurrency_stats()
             self._recompute()
             return
-        if disjoint:
+        if disjoint and not self._dirty:
             # Provably local change: no other live flow crosses any of this
             # flow's channels, so progressive filling would leave everyone
             # else's rate untouched and freeze this flow at the minimum β
             # over its (otherwise idle) channels.
             self.solver_fast_admits += 1
-            if self._stalled and any(n in self._stalled for n in flow.channels):
-                flow.rate = 0.0
+            if self._stalled_ci and not self._stalled_ci.isdisjoint(cis):
+                self._f_rate[slot] = 0.0
             else:
-                flow.rate = min(
-                    self.channels[name].beta for name in flow.channels
-                )
+                self._f_rate[slot] = min(ch_objs[ci].beta for ci in cis)
             self._invalidate_wakeup()
             self._arm_wakeup()
         else:
+            # Defer the solve to the engine's end-of-timestamp flush: every
+            # same-timestamp admit folds into one progressive-filling pass.
+            # No simulated time can pass while dirty (the flush runs before
+            # the clock moves), so intermediate rates are unobservable.
+            self._invalidate_wakeup()
+            self._dirty = True
+
+    def _flush(self) -> None:
+        """Engine end-of-timestamp hook: run the deferred batched solve."""
+        if self._dirty:
             self._recompute()
 
     def _sync(self) -> None:
         """Integrate all flows' progress at their current rates."""
         now = self.engine.now
         elapsed = now - self._last_sync
-        if elapsed > 0 and self._flows:
+        if elapsed > 0 and self._live_slots:
             # A channel is busy only if its crossing flows moved bytes in
             # this interval: flows frozen at rate 0 by progressive filling
             # occupy the channel nominally but transfer nothing, and must
             # not inflate utilisation reports.
-            channels = self.channels
-            busy_channels = set()
-            for flow in self._flows.values():
-                progressed = flow.rate * elapsed
+            f_rate, f_rem, f_chans = self._f_rate, self._f_rem, self._f_chans
+            stamp_arr, acc = self._ch_stamp, self._ch_acc
+            self._sync_stamp += 1
+            stamp = self._sync_stamp
+            touched: list[int] = []
+            for s in self._live_slots:
+                progressed = f_rate[s] * elapsed
                 if progressed <= 0:
                     continue
-                remaining = flow.remaining - progressed
-                flow.remaining = remaining if remaining > 0.0 else 0.0
-                for name in flow.channels:
-                    channels[name].total_bytes += progressed
-                    busy_channels.add(name)
-            for name in busy_channels:
-                channels[name].busy_time += elapsed
+                remaining = f_rem[s] - progressed
+                f_rem[s] = remaining if remaining > 0.0 else 0.0
+                for ci in f_chans[s]:
+                    if stamp_arr[ci] == stamp:
+                        acc[ci] += progressed
+                    else:
+                        stamp_arr[ci] = stamp
+                        acc[ci] = progressed
+                        touched.append(ci)
+            for ci in touched:
+                ch = self._ch_objs[ci]
+                ch.total_bytes += acc[ci]
+                ch.busy_time += elapsed
         self._last_sync = now
 
     def _max_min_rates(self) -> None:
         """Progressive filling: assign each active flow its max-min rate.
 
-        The incremental path reads the maintained membership index and
-        tracks per-channel unfrozen counts with integer decrements, so each
-        round costs O(channels + frozen flows' channels) instead of
-        rebuilding the index and intersecting sets per channel.  The shares
-        it compares are the exact same floats the full rebuild computes.
+        One pass over flat arrays: per-channel residual capacity and
+        unfrozen counts live in preallocated scratch cells indexed by
+        channel id, flows are slots into the rate/mark arrays.  Each round
+        costs O(active channels + frozen flows' channels).  The shares it
+        compares are the exact same floats the full rebuild computes.
         """
-        flows = self._flows
+        live_slots = self._live_slots
+        f_rate, f_mark, f_chans = self._f_rate, self._f_mark, self._f_chans
+        ch_members = self._ch_members
+        cap, live = self._ch_cap, self._ch_live
         if self.full_recompute:
-            members: dict[str, dict[int, None]] = {}
-            for fid, flow in flows.items():
-                for name in flow.channels:
-                    members.setdefault(name, {})[fid] = None
+            # Reference path: rebuild the membership domain from scratch
+            # (same content as the maintained index, kept for parity with
+            # the pre-optimisation solver).
+            active = []
+            seen = set()
+            for s in live_slots:
+                for ci in f_chans[s]:
+                    if ci not in seen:
+                        seen.add(ci)
+                        active.append(ci)
         else:
-            members = self._members
-        channels = self.channels
-        remaining_cap = {name: channels[name].beta for name in members}
-        live_count = {name: len(fids) for name, fids in members.items()}
+            active = list(self._act_ch)
+        ch_objs = self._ch_objs
+        for ci in active:
+            cap[ci] = ch_objs[ci].beta
+            live[ci] = len(ch_members[ci])
         self._solve_mark += 1
         mark = self._solve_mark
-        unfrozen = len(flows)
-        if self._stalled:
+        unfrozen = len(live_slots)
+        if self._stalled_ci:
             # Flows crossing a stalled channel are pre-frozen at rate 0 and
             # release their claim on every channel they cross: a stalled
             # flow occupies the wire nominally but moves nothing, so the
             # survivors' progressive filling must not see it.
-            for name in self._stalled:
-                fids = members.get(name)
-                if not fids:
-                    continue
-                for fid in fids:
-                    flow = flows[fid]
-                    if flow.solve_mark == mark:
+            for ci in self._stalled_ci:
+                for s in ch_members[ci]:
+                    if f_mark[s] == mark:
                         continue
-                    flow.solve_mark = mark
-                    flow.rate = 0.0
-                    for ch in flow.channels:
-                        live_count[ch] -= 1
+                    f_mark[s] = mark
+                    f_rate[s] = 0.0
+                    for c2 in f_chans[s]:
+                        live[c2] -= 1
                     unfrozen -= 1
         while unfrozen > 0:
             # Rate increment that saturates the tightest channel.
             limit = float("inf")
-            tight: list[str] = []
-            for name, cap in remaining_cap.items():
-                live = live_count[name]
-                if live <= 0:
+            tight: list[int] = []
+            for ci in active:
+                n = live[ci]
+                if n <= 0:
                     continue
-                share = cap / live
+                share = cap[ci] / n
                 if share < limit - 1e-18:
                     limit = share
-                    tight = [name]
+                    tight = [ci]
                 elif abs(share - limit) <= 1e-18:
-                    tight.append(name)
+                    tight.append(ci)
             if not tight:  # pragma: no cover - defensive
                 break
-            to_freeze: list[FabricFlow] = []
-            for name in tight:
-                for fid in members[name]:
-                    flow = flows[fid]
-                    if flow.solve_mark != mark:
-                        flow.solve_mark = mark
-                        to_freeze.append(flow)
-            for flow in to_freeze:
-                flow.rate = limit
-                for name in flow.channels:
-                    cap = remaining_cap[name] - limit
-                    remaining_cap[name] = cap if cap > 0.0 else 0.0
-                    live_count[name] -= 1
+            to_freeze: list[int] = []
+            for ci in tight:
+                for s in ch_members[ci]:
+                    if f_mark[s] != mark:
+                        f_mark[s] = mark
+                        to_freeze.append(s)
+            for s in to_freeze:
+                f_rate[s] = limit
+                for ci in f_chans[s]:
+                    c = cap[ci] - limit
+                    cap[ci] = c if c > 0.0 else 0.0
+                    live[ci] -= 1
             unfrozen -= len(to_freeze)
 
     def _invalidate_wakeup(self) -> None:
         """Invalidate any scheduled wakeup: bump the generation guard and
-        purge the stale heap entry (the original code left it to fire as a
-        no-op; the full-recompute debug path still does)."""
+        tombstone the stale slab entry in O(1) (the original code left it
+        to fire as a no-op; the full-recompute debug path still does)."""
         self._wakeup_generation += 1
         pending = self._pending_wakeup
         if pending is not None:
             self._pending_wakeup = None
             if not self.full_recompute:
-                self.engine.cancel(pending)
+                self.engine.cancel_handle(pending)
 
     def _arm_wakeup(self) -> None:
         """Schedule the next completion wakeup at the soonest flow horizon."""
         soonest = float("inf")
-        for flow in self._flows.values():
-            if flow.rate > 0:
-                horizon = flow.remaining / flow.rate
+        f_rate, f_rem = self._f_rate, self._f_rem
+        for s in self._live_slots:
+            rate = f_rate[s]
+            if rate > 0:
+                horizon = f_rem[s] / rate
                 if horizon < soonest:
                     soonest = horizon
         if soonest == float("inf"):
             return  # every live flow is stalled: nothing to wake for
-        generation = self._wakeup_generation
-        wakeup = self.engine.call_at(self.engine.now + soonest)
-        wakeup.add_callback(lambda _ev: self._wake(generation))
-        self._pending_wakeup = wakeup
+        self._pending_wakeup = self.engine.schedule_fn(
+            self.engine.now + soonest, self._wake, self._wakeup_generation
+        )
 
     def _recompute(self) -> None:
+        self._dirty = False
         self._invalidate_wakeup()
-        if not self._flows:
+        if not self._live_slots:
             return
         self.rate_recomputes += 1
         self._max_min_rates()
         self._arm_wakeup()
 
-    @staticmethod
-    def _flow_done(flow: FabricFlow) -> bool:
+    def _flow_done(self, flow: FabricFlow) -> bool:
         # Size-relative epsilon, precomputed at flow creation: accumulated
         # float error over many rate recomputations scales with demand.
+        if flow.slot >= 0:
+            return self._f_rem[flow.slot] <= self._f_eps[flow.slot]
         return flow.remaining <= flow.done_eps
 
     def _wake(self, generation: int) -> None:
@@ -544,40 +663,37 @@ class Fabric:
             return
         self._pending_wakeup = None
         self._sync()
-        finished = [f for f in self._flows.values() if f.remaining <= f.done_eps]
-        if not finished and self._flows:
+        f_rem, f_eps = self._f_rem, self._f_eps
+        live_slots = self._live_slots
+        finished = [s for s in live_slots if f_rem[s] <= f_eps[s]]
+        if not finished and live_slots:
             # Guard: if the nearest completion horizon is below the clock's
             # float resolution, time cannot advance — force-complete the
             # flows at that horizon instead of spinning.
             now = self.engine.now
+            f_rate = self._f_rate
             horizons = [
-                (f.remaining / f.rate, f)
-                for f in self._flows.values()
-                if f.rate > 0
+                (f_rem[s] / f_rate[s], s)
+                for s in live_slots
+                if f_rate[s] > 0
             ]
             if horizons:
                 min_h = min(h for h, _ in horizons)
                 if now + min_h <= now:
                     finished = [
-                        f for h, f in horizons if h <= min_h * (1 + 1e-9)
+                        s for h, s in horizons if h <= min_h * (1 + 1e-9)
                     ]
         # Removal is provably local when every channel of every finished
         # flow is left with no other live flow: the survivors' progressive
         # filling never saw those channels, so their rates are unchanged and
         # the full solve can be skipped (the wakeup is simply re-armed).
         local = True
-        for flow in finished:
-            del self._flows[flow.flow_id]
-            for name in flow.channels:
-                members = self._members.get(name)
-                if members is not None:
-                    members.pop(flow.flow_id, None)
-                    if members:
-                        local = False
-                    else:
-                        del self._members[name]
+        for s in finished:
+            flow = self._f_obj[s]
+            if not self._remove_slot(flow):
+                local = False
             self._finish(flow)
-        if not self.full_recompute and finished and local and self._flows:
+        if not self.full_recompute and finished and local and self._live_slots:
             self.solver_fast_finishes += 1
             self._invalidate_wakeup()
             self._arm_wakeup()
@@ -612,29 +728,37 @@ class Fabric:
         same maxima — a channel's live count only grows at admits of flows
         crossing it.
         """
-        counts: dict[str, int] = {}
-        for flow in self._flows.values():
-            for name in flow.channels:
-                counts[name] = counts.get(name, 0) + 1
-        for name, n in counts.items():
-            ch = self.channels[name]
+        counts: dict[int, int] = {}
+        for s in self._live_slots:
+            for ci in self._f_chans[s]:
+                counts[ci] = counts.get(ci, 0) + 1
+        for ci, n in counts.items():
+            ch = self._ch_objs[ci]
             ch.max_concurrency = max(ch.max_concurrency, n)
 
     # ------------------------------------------------------------------
     @property
     def active_flows(self) -> int:
-        return len(self._flows)
+        return len(self._live_slots)
 
     def flows_on(self, channel_name: str) -> list[FabricFlow]:
         """Live flows crossing a channel, in admit order.
 
         Served from the maintained membership index — O(flows-on-channel)
-        instead of scanning every active flow's channel tuple.
+        instead of scanning every active flow's channel tuple.  The
+        returned facade objects have their ``rate``/``remaining`` mirrors
+        refreshed from the slot arrays.
         """
-        members = self._members.get(channel_name)
-        if not members:
+        ci = self._ch_index.get(channel_name)
+        if ci is None or not self._ch_members[ci]:
             return []
-        return [self._flows[fid] for fid in members]
+        flows = []
+        for s in self._ch_members[ci]:
+            flow = self._f_obj[s]
+            flow.rate = self._f_rate[s]
+            flow.remaining = self._f_rem[s]
+            flows.append(flow)
+        return flows
 
     def reset_stats(self) -> None:
         self.flows_admitted = 0
@@ -669,7 +793,7 @@ class Fabric:
             "channels_down": sorted(self._down),
             "channels_stalled": sorted(self._stalled),
             "events_cancelled": self.engine.events_cancelled,
-            "active_flows": len(self._flows),
+            "active_flows": len(self._live_slots),
             "channels": {
                 name: {
                     "total_bytes": ch.total_bytes,

@@ -262,10 +262,10 @@ class TestCancellation:
         assert not ev.triggered and ev.cancelled
         assert eng.events_cancelled == 1
 
-    def test_cancelled_pop_still_advances_clock(self):
-        # lazy cancellation must be unobservable except for the skipped
-        # callback: popping a tombstone moves `now` exactly like the old
-        # generation-guarded stale wakeup did
+    def test_cancelled_pop_does_not_touch_clock(self):
+        # lazy cancellation must be fully unobservable: popping a tombstone
+        # neither fires the callback nor moves `now` — only live events
+        # advance the clock
         eng = Engine()
         ev = eng.call_at(2.0)
         eng.cancel(ev)
@@ -313,7 +313,7 @@ class TestCancellation:
         snap = eng.stats_snapshot()
         assert snap["events_cancelled"] == 1
         assert snap["queued"] == 2  # tombstone still queued pre-compaction
-        assert snap["peak_queued"] == 2
+        assert snap["peak_queued"] == 1  # live entries only: no tombstones
         eng.run()
         assert keep.triggered
         assert eng.stats_snapshot()["queued"] == 0

@@ -153,37 +153,20 @@ class TestDynamics:
 
     def test_busy_time_skips_rate_zero_channels(self):
         """Regression: ``_sync`` charged ``busy_time`` to every channel
-        crossed by *any* active flow, including flows frozen at rate 0 by
-        progressive filling — a channel moving no bytes is not busy."""
-        from repro.sim.engine import Event
-        from repro.sim.fabric import FabricFlow
-
+        crossed by *any* active flow, including flows frozen at rate 0 —
+        a channel moving no bytes is not busy."""
         eng = Engine()
         fab = simple_fabric(eng, a=gbps(1), b=gbps(1))
-
-        def flow(fid, channels, rate):
-            return FabricFlow(
-                flow_id=fid,
-                channels=channels,
-                remaining=float(MiB),
-                total_demand=float(MiB),
-                nbytes=MiB,
-                event=Event(eng),
-                tag="",
-                start_time=0.0,
-                rate=rate,
-                admitted=True,
-            )
-
-        live = flow(0, ("a",), rate=gbps(1))
-        frozen = flow(1, ("b",), rate=0.0)  # progressive-filling freeze
-        fab._flows = {0: live, 1: frozen}
-        eng.now = 0.25  # advance the clock a quarter second
-        fab._sync()
-        assert fab.channel("a").busy_time == pytest.approx(0.25)
-        assert fab.channel("a").total_bytes == pytest.approx(0.25 * gbps(1))
-        assert fab.channel("b").busy_time == 0.0
-        assert fab.channel("b").total_bytes == 0.0
+        live = fab.copy("a", int(gbps(1)))  # 1 second of work on `a`
+        fab.copy("b", int(gbps(1)), tag="frozen")
+        eng.run(until=1e-9)  # both admitted, nothing moved yet
+        fab.stall_channel("b")  # freezes the `b` flow at rate 0
+        eng.run(until=live)
+        assert fab.channel("a").busy_time == pytest.approx(1.0, rel=1e-6)
+        assert fab.channel("a").total_bytes == pytest.approx(gbps(1), rel=1e-6)
+        # `b` accrued nothing while stalled at rate 0
+        assert fab.channel("b").busy_time == pytest.approx(0.0, abs=1e-6)
+        assert fab.channel("b").total_bytes == pytest.approx(0.0, abs=10.0)
 
     def test_completed_bytes_match_tracer_totals(self):
         """Per-channel completion accounting uses the same primary-channel

@@ -1,0 +1,165 @@
+"""Randomized timeline-invariance certification for the slab-backed core.
+
+A seeded scenario generator mixes the contention patterns the CONTEND
+experiment stresses (``bench/experiments/contention.py``) with fault
+schedules from :mod:`repro.sim.faults`, then replays the *same* scenario
+on the incremental slab-backed solver and on the ``full_recompute=True``
+reference path.  Every tracer record, the final clock, and the flow/byte
+accounting must be bit-identical — the optimized core may only be faster,
+never different.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.bench.experiments.contention import CONTENTION_PATTERNS
+from repro.sim import Engine, Fabric, Tracer
+from repro.sim.faults import (
+    FaultSchedule,
+    FlappingLink,
+    LinkDown,
+    StallInjector,
+)
+from repro.units import MiB, gbps
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A fully materialized workload: identical inputs for both runs."""
+
+    channels: tuple[tuple[str, float, float], ...]  # (name, alpha, beta)
+    copies: tuple[tuple[float, tuple[str, ...], int, str], ...]
+    faults: tuple[tuple, ...] = field(default=())  # ("down"|"stall"|"flap", ...)
+
+
+def generate_scenario(seed: int) -> Scenario:
+    """Draw one scenario; all randomness happens here, never during a run."""
+    rng = random.Random(seed)
+    nshared = rng.randint(3, 5)
+    ndisjoint = rng.randint(2, 4)
+    channels = [
+        (f"g{i}", rng.choice([0.0, 1e-6, 2e-6]), gbps(rng.randint(5, 25)))
+        for i in range(nshared)
+    ] + [
+        (f"pv{i}", 5e-7, gbps(rng.randint(15, 30)))
+        for i in range(ndisjoint)
+    ]
+
+    copies: list[tuple[float, tuple[str, ...], int, str]] = []
+    tag = 0
+    # contention phases: each CONTEND pattern's (src, dst) pairs become
+    # concurrent flows crossing the endpoints' channels
+    for wave in range(rng.randint(2, 4)):
+        t0 = wave * rng.choice([1e-3, 2e-3, 3e-3])
+        pattern = rng.choice(sorted(CONTENTION_PATTERNS))
+        for src, dst in CONTENTION_PATTERNS[pattern]:
+            names = (f"g{src % nshared}", f"g{dst % nshared}")
+            if names[0] == names[1]:
+                names = (names[0],)
+            nbytes = rng.choice([0, MiB, 2 * MiB, 5 * MiB])
+            jitter = rng.randrange(0, 20) * 1e-6
+            copies.append((t0 + jitter, names, nbytes, f"c{tag}"))
+            tag += 1
+    # disjoint trains: the incremental solver's fast-admit/finish regime
+    for i in range(ndisjoint):
+        t = rng.randrange(0, 50) * 1e-5
+        for hop in range(rng.randint(3, 8)):
+            copies.append((t, (f"pv{i}",), rng.choice([MiB, 3 * MiB]), f"t{tag}"))
+            tag += 1
+            t += rng.randrange(1, 30) * 1e-4
+
+    faults: list[tuple] = []
+    for _ in range(rng.randint(1, 3)):
+        kind = rng.choice(["down", "stall", "flap"])
+        victim = rng.choice([c[0] for c in channels])
+        at = rng.randrange(1, 40) * 1e-4
+        if kind == "down":
+            faults.append(("down", victim, at, rng.choice([5e-4, 2e-3])))
+        elif kind == "stall":
+            faults.append(("stall", victim, at, rng.choice([3e-4, 1e-3])))
+        else:
+            faults.append(("flap", victim, at, 4e-4, 8e-4, at + 6e-3, seed))
+
+    return Scenario(tuple(channels), tuple(copies), tuple(faults))
+
+
+def run_scenario(scn: Scenario, *, full_recompute: bool):
+    eng = Engine()
+    tracer = Tracer()
+    fab = Fabric(eng, tracer=tracer, full_recompute=full_recompute)
+    for name, alpha, beta in scn.channels:
+        fab.add_channel(name, alpha=alpha, beta=beta)
+
+    outcomes: list[tuple[str, float, bool]] = []
+
+    def issue(names, nbytes, tag):
+        fab.copy(names, nbytes, tag=tag).add_callback(
+            lambda ev: outcomes.append((tag, eng.now, ev.ok))
+        )
+
+    for at, names, nbytes, tag in scn.copies:
+        eng.call_at(at).add_callback(
+            lambda _ev, n=names, b=nbytes, t=tag: issue(n, b, t)
+        )
+
+    schedule = FaultSchedule()
+    for f in scn.faults:
+        if f[0] == "down":
+            schedule.add(LinkDown(f[1], at=f[2], duration=f[3]))
+        elif f[0] == "stall":
+            schedule.add(StallInjector(f[1], at=f[2], duration=f[3]))
+        else:
+            schedule.add(
+                FlappingLink(
+                    f[1], first_down=f[2], mean_down=f[3], mean_up=f[4],
+                    until=f[5], seed=f[6],
+                )
+            )
+    schedule.attach(fab)
+
+    eng.run()
+    return eng, fab, tracer, outcomes
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_randomized_scenarios_bit_identical(seed):
+    scn = generate_scenario(seed)
+    eng_i, fab_i, tr_i, out_i = run_scenario(scn, full_recompute=False)
+    eng_f, fab_f, tr_f, out_f = run_scenario(scn, full_recompute=True)
+
+    # the whole observable timeline, bit for bit (records are exact
+    # float tuples, and their order is part of the contract)
+    assert tr_i.records == tr_f.records
+    assert eng_i.now == eng_f.now
+    assert out_i == out_f
+
+    # accounting parity: completions, failures, per-channel bytes/busy
+    assert fab_i.flows_admitted == fab_f.flows_admitted
+    assert fab_i.flows_completed == fab_f.flows_completed
+    assert fab_i.flows_failed == fab_f.flows_failed
+    for name, _alpha, _beta in scn.channels:
+        ci, cf = fab_i.channel(name), fab_f.channel(name)
+        assert ci.total_bytes == cf.total_bytes
+        assert ci.busy_time == cf.busy_time
+        assert ci.completed_bytes == cf.completed_bytes
+
+    # and the incremental run actually took its fast paths (the test
+    # would prove nothing if it silently fell back to full solves)
+    assert fab_i.rate_recomputes < fab_f.rate_recomputes
+
+
+def test_generator_produces_contention_and_faults():
+    """The scenarios genuinely contain what they claim to mix."""
+    kinds = set()
+    shared_flows = 0
+    for seed in range(8):
+        scn = generate_scenario(seed)
+        kinds.update(f[0] for f in scn.faults)
+        shared_flows += sum(1 for _t, names, _b, _tag in scn.copies
+                            if len(names) > 1)
+    assert shared_flows > 0
+    assert len(kinds) >= 2  # at least two distinct fault types across seeds
