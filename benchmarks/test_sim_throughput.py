@@ -13,6 +13,9 @@ performance floor:
   serial-only floor on single-core machines (where the fan-out cannot
   contribute wall clock);
 * cached planner lookups stay negligible against the transfers they plan;
+* the always-on flight recorder taxes a mixed-size transfer workload by
+  <3% (the ISSUE-7 gate, measured as the median of paired on/off
+  latency ratios over adjacent identical transfer blocks);
 * no gated series regressed >30% against the committed baseline
   (``benchmarks/results/perf_baseline.json``).
 """
@@ -68,6 +71,17 @@ def test_fig5_sweep_speedup(suite):
 
 def test_planner_overhead_negligible(suite):
     assert suite["planner"]["overhead_vs_64mib_transfer"] < 0.01
+
+
+def test_tracing_overhead_budget(suite):
+    tracing = suite["tracing_overhead"]
+    # ISSUE 7 acceptance: the always-on flight recorder costs <3% wall
+    # clock on a mixed-size transfer workload (median of paired on/off
+    # block ratios, pooled across fresh environments).
+    assert tracing["overhead"] < 0.03
+    # the recorder actually recorded the workload it claims to tax
+    assert tracing["spans_recorded"] > 0
+    assert tracing["spans_per_put"] > 1.0
 
 
 def test_write_bench_json_and_gate_vs_baseline(suite):

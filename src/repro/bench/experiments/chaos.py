@@ -193,4 +193,85 @@ def run_chaos(
     return result
 
 
-__all__ = ["ChaosResult", "SCENARIOS", "build_schedule", "run_chaos"]
+@dataclass(frozen=True)
+class TracedScenario:
+    """A deterministic chaos workload whose flight traces tell the whole
+    queue → plan → execute → recovery story (see ``cli slowest``)."""
+
+    system: str
+    nbytes: int
+    channel: str
+    results: tuple[PutResult, ...]
+    trace_id: int  # the transfer that hit the fault and recovered
+
+    @property
+    def context(self):
+        return self._context  # set via object.__setattr__
+
+
+def run_traced_scenario(
+    system: str = "beluga",
+    *,
+    nbytes: int = 16 * MiB,
+    src: int = 0,
+    dst: int = 1,
+    puts: int = 3,
+) -> TracedScenario:
+    """Run a deterministic multi-put chaos workload and keep its context.
+
+    ``puts`` same-pair transfers are submitted together under a
+    ``max_inflight_per_pair=1`` admission cap, so all but the first wait in
+    the TransferManager queue (an ``admission.queue`` span).  The direct
+    channel hard-fails while the *second* put is mid-execution (anchored at
+    1.45 T₀, with T₀ the fault-free single-put duration), so its trace
+    carries ``recovery.retry`` spans parented to the original transfer root
+    — a complete causal story across every stage.  Everything is anchored
+    on measured durations and fixed constants, so repeated invocations
+    yield identical timelines and trace ids.
+    """
+    if puts < 2:
+        raise ValueError("need at least 2 puts (one must queue)")
+    setup = get_setup(system)
+    channel = setup.topology.direct_hop(src, dst)[0]
+    config = dynamic_config().with_(max_inflight_per_pair=1)
+
+    _ctx, fault_free = _measure_put(
+        setup, config, nbytes=nbytes, src=src, dst=dst, schedule=None, tag="t"
+    )
+    t0 = fault_free.duration
+
+    env = setup.env(config, observe=True)
+    engine, ctx, _comm = env.fresh()
+    schedule = FaultSchedule(LinkDown(channel, at=1.45 * t0, duration=1e6 * t0))
+    schedule.attach(ctx.runtime.fabric)
+    events = [ctx.put(src, dst, nbytes, tag=f"t{i}") for i in range(puts)]
+    results = tuple(engine.run(until=ev) for ev in events)
+    record_fault_spans(schedule, ctx.obs.spans, clip_end=engine.now)
+
+    # the fault victim: the one trace whose root settled with retries
+    from repro.obs.tracing import TraceTree
+
+    tree = TraceTree(ctx.flight)
+    recovered = [
+        r for r in tree.roots() if r.attrs.get("retries", 0) > 0
+    ]
+    trace_id = recovered[0].trace_id if recovered else tree.slowest(1)[0].trace_id
+    scenario = TracedScenario(
+        system=system,
+        nbytes=nbytes,
+        channel=channel,
+        results=results,
+        trace_id=trace_id,
+    )
+    object.__setattr__(scenario, "_context", ctx)
+    return scenario
+
+
+__all__ = [
+    "ChaosResult",
+    "SCENARIOS",
+    "TracedScenario",
+    "build_schedule",
+    "run_chaos",
+    "run_traced_scenario",
+]

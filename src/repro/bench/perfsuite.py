@@ -19,6 +19,10 @@ machine-readable ``BENCH_sim.json``:
 * **fault_recovery** — the CHAOS headline: simulated recovery time of a
   mid-transfer LinkDown vs the fault-free run and vs restarting the whole
   transfer over the surviving paths.
+* **tracing_overhead** — the flight recorder's on-by-default tax: the
+  median of paired recorder-on/recorder-off latency ratios over adjacent
+  identical mixed-size transfer blocks.  The <3 % budget is gated in
+  ``benchmarks/test_sim_throughput.py``.
 
 Usage::
 
@@ -42,7 +46,7 @@ from repro.sim.engine import Engine
 from repro.sim.fabric import Fabric
 from repro.units import MiB
 
-PERF_SUITE_VERSION = 2
+PERF_SUITE_VERSION = 3
 
 #: Series compared against the baseline by :func:`check_regression`:
 #: (json path, human label).  All are "higher is better" throughputs.
@@ -364,6 +368,100 @@ def bench_fault_recovery(*, quick: bool = False) -> dict:
     }
 
 
+def _tracing_ratio_samples(pairs_n: int, warmup: int) -> tuple[list[float], int, int]:
+    """Paired per-block overhead ratios from one environment.
+
+    Each sample runs the *same* block of transfers (one per (gpu pair,
+    size) combination) twice back to back — once with the recorder off,
+    once on, order alternating — and contributes ``t_on / t_off - 1``.
+    Pairing adjacent identical blocks is what makes the estimator robust
+    on shared/noisy runners: CPU-frequency and scheduler drift over a
+    few-ms block is negligible, so it cancels in the ratio, while the
+    alternating order cancels warm-cache bias; timing a whole block
+    (rather than a single put) averages the timer jitter inside each arm
+    before the ratio is taken.  The size mix spans small (fixed span cost
+    dominates) through multi-chunk transfers (amortised cost), touching
+    every span kind the hot path emits.  GC is parked over the sampled
+    region so collection pauses don't land in one arm.
+    """
+    import gc
+
+    from repro.bench.baselines import dynamic_config
+    from repro.bench.runner import get_setup
+
+    setup = get_setup("beluga")
+    env = setup.env(dynamic_config())
+    engine, ctx, _comm = env.fresh()
+    flight = ctx.flight
+    workload = tuple(zip(
+        ((0, 1), (2, 3), (1, 2), (0, 3)),
+        (MiB, 16 * MiB, 4 * MiB, 64 * MiB),
+    ))
+    clock = time.perf_counter_ns
+    seq = 0
+    puts_per_block = len(workload)
+
+    def block(on: bool) -> int:
+        nonlocal seq
+        flight.enabled = on
+        t0 = clock()
+        for (src, dst), nbytes in workload:
+            engine.run(until=ctx.put(src, dst, nbytes, tag=f"o{seq}"))
+            seq += 1
+        return clock() - t0
+
+    for _ in range(warmup):
+        block(True)
+        block(False)
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    ratios = []
+    try:
+        for k in range(pairs_n):
+            if k % 2 == 0:
+                off = block(False)
+                on = block(True)
+            else:
+                on = block(True)
+                off = block(False)
+            ratios.append(on / off - 1.0)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return ratios, flight.spans_recorded, (pairs_n + warmup) * puts_per_block
+
+
+def bench_tracing_overhead(*, quick: bool = False, repeats: int = 3) -> dict:
+    """Flight-recorder overhead: recorder-on vs recorder-off put latency.
+
+    ``overhead`` is the median of paired on/off block ratios pooled
+    across ``repeats`` fresh environments (see
+    :func:`_tracing_ratio_samples` for why pairing adjacent identical
+    blocks is the noise-robust design).  The acceptance budget for the
+    on-by-default recorder is <3 %.
+    """
+    pairs_n = 60 if quick else 100
+    warmup = 5 if quick else 12
+    pooled: list[float] = []
+    spans = traced_puts = 0
+    for _ in range(max(1, repeats)):
+        ratios, recorded, n = _tracing_ratio_samples(pairs_n, warmup)
+        pooled.extend(ratios)
+        spans += recorded
+        traced_puts += n  # every traced put of this env (on arm)
+    pooled.sort()
+    overhead = pooled[len(pooled) // 2]
+    return {
+        "paired_blocks": len(pooled),
+        "repeats": repeats,
+        "overhead": overhead,
+        "p90_ratio": pooled[int(0.9 * (len(pooled) - 1))],
+        "spans_recorded": spans,
+        "spans_per_put": spans / traced_puts if traced_puts else 0.0,
+    }
+
+
 def run_suite(*, quick: bool = False, jobs: int | None = None) -> dict:
     return {
         "version": PERF_SUITE_VERSION,
@@ -373,6 +471,7 @@ def run_suite(*, quick: bool = False, jobs: int | None = None) -> dict:
         "fig5": bench_fig5(quick=quick, jobs=jobs),
         "planner": bench_planner(quick=quick),
         "fault_recovery": bench_fault_recovery(quick=quick),
+        "tracing_overhead": bench_tracing_overhead(quick=quick),
     }
 
 
@@ -501,6 +600,8 @@ __all__ = [
     "bench_solver",
     "bench_fig5",
     "bench_planner",
+    "bench_fault_recovery",
+    "bench_tracing_overhead",
     "run_suite",
     "check_regression",
     "write_profile",

@@ -176,7 +176,8 @@ def dump_artifacts(prefix: str | Path, context) -> list[Path]:
 
     * ``<prefix>.metrics.json`` — :meth:`MetricsRegistry.snapshot`;
     * ``<prefix>.trace.json`` — Chrome-trace timeline (fabric copies +
-      put/path spans), loadable in ``chrome://tracing`` / Perfetto;
+      put/path spans + flight-recorder traces), loadable in
+      ``chrome://tracing`` / Perfetto;
     * ``<prefix>.decisions.jsonl`` — one planner decision per line.
     """
     from repro.obs import dump_chrome_trace
@@ -197,6 +198,7 @@ def dump_artifacts(prefix: str | Path, context) -> list[Path]:
             trace_path,
             tracer,
             obs.spans if obs is not None else None,
+            getattr(context, "flight", None),
             metadata={"topology": context.topology.name},
         )
         written.append(trace_path)

@@ -17,6 +17,8 @@ Usage::
     python -m repro.cli critical-path        # per-transfer bottleneck report
     python -m repro.cli chaos                # fault injection recovery report
     python -m repro.cli contention           # contention-aware planning report
+    python -m repro.cli slowest              # slowest traced transfers (chaos run)
+    python -m repro.cli timeline 1           # one trace's causal span tree
 """
 
 from __future__ import annotations
@@ -39,7 +41,11 @@ from repro.bench.experiments import (
 from repro.bench.baselines import dynamic_config
 from repro.bench.experiments.concurrent_pairs import run_concurrent_pairs
 from repro.bench.experiments.fig7_collectives import collective_sizes
-from repro.bench.experiments.chaos import SCENARIOS, run_chaos
+from repro.bench.experiments.chaos import (
+    SCENARIOS,
+    run_chaos,
+    run_traced_scenario,
+)
 from repro.bench.experiments.contention import (
     CONTENTION_PATTERNS,
     measure_contention,
@@ -55,8 +61,15 @@ from repro.bench.runner import (
     quick_sizes,
     set_cal_cache_dir,
 )
-from repro.obs import CriticalPathAnalyzer, chrome_trace
-from repro.obs.report import chaos_report, critical_path_report, drift_report
+from repro.obs import CriticalPathAnalyzer, TraceTree, chrome_trace
+from repro.obs.report import (
+    chaos_report,
+    critical_path_report,
+    drift_report,
+    slowest_report,
+    timeline_report,
+    tracing_stats_report,
+)
 from repro.units import MiB, parse_size
 
 
@@ -273,6 +286,7 @@ def cmd_trace(args):
     trace = chrome_trace(
         ctx.tracer,
         ctx.obs.spans,
+        ctx.flight,
         metadata={
             "system": system,
             "nbytes": result.nbytes,
@@ -403,6 +417,57 @@ def cmd_contention(args):
         print(f"wrote {args.output}", file=sys.stderr)
 
 
+def _traced_scenario(args):
+    """The deterministic traced chaos workload slowest/timeline replay.
+
+    Determinism matters: two invocations (one to list trace ids via
+    ``slowest``, one to expand a trace via ``timeline <id>``) see the
+    same timeline and the same ids.
+    """
+    system = _systems(args)[0]
+    setup = get_setup(system)
+    src, dst = _gpu_pair(args, setup)
+    return run_traced_scenario(
+        system, nbytes=_nbytes(args, default=16 * MiB), src=src, dst=dst
+    )
+
+
+def cmd_slowest(args):
+    """Slowest traced transfers of a chaos workload, with stage split."""
+    scn = _traced_scenario(args)
+    ctx = scn.context
+    print(
+        f"# traced chaos workload: {scn.system} n={scn.nbytes} "
+        f"({len(scn.results)} puts, {scn.channel} fails mid-transfer; "
+        f"trace {scn.trace_id} recovered)"
+    )
+    print(slowest_report(TraceTree(ctx.flight), n=10))
+    print()
+    print(tracing_stats_report(ctx.flight))
+    if args.dump:
+        for path in dump_artifacts(args.dump, ctx):
+            print(f"wrote {path}", file=sys.stderr)
+
+
+def cmd_timeline(args):
+    """One trace's parent-linked span tree (default: the recovered one)."""
+    scn = _traced_scenario(args)
+    ctx = scn.context
+    trace_id = scn.trace_id if args.trace is None else int(args.trace)
+    tree = TraceTree(ctx.flight)
+    try:
+        text = timeline_report(tree, trace_id)
+    except KeyError as exc:
+        raise SystemExit(
+            f"error: {exc.args[0]} (known traces: "
+            f"{', '.join(map(str, tree.trace_ids()))})"
+        ) from None
+    print(text)
+    if args.dump:
+        for path in dump_artifacts(args.dump, ctx):
+            print(f"wrote {path}", file=sys.stderr)
+
+
 def cmd_critical_path(args):
     """Per-transfer bottleneck/slack attribution of one instrumented run."""
     system = _systems(args)[0]
@@ -424,6 +489,8 @@ COMMANDS = {
     "chaos": cmd_chaos,
     "contention": cmd_contention,
     "critical-path": cmd_critical_path,
+    "slowest": cmd_slowest,
+    "timeline": cmd_timeline,
     "conc": cmd_conc,
     "fig4": cmd_fig4,
     "fig5": cmd_fig5,
@@ -442,6 +509,12 @@ def main(argv: list[str] | None = None) -> int:
         "communication performance model (SC Workshops '25).",
     )
     parser.add_argument("command", choices=sorted(COMMANDS))
+    parser.add_argument(
+        "trace",
+        nargs="?",
+        help="timeline: the trace id to expand (default: the recovered "
+        "transfer of the traced chaos workload)",
+    )
     parser.add_argument(
         "--system",
         action="append",

@@ -20,6 +20,7 @@ from __future__ import annotations
 import time
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, replace
+from functools import cached_property
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -79,11 +80,14 @@ class TransferPlan:
     def predicted_bandwidth(self) -> float:
         return self.nbytes / self.predicted_time if self.predicted_time > 0 else 0.0
 
-    @property
+    # cached: plans are frozen and these are walked once per execution
+    # round plus once per recorded plan span (cached_property writes the
+    # instance __dict__ directly, which frozen dataclasses permit)
+    @cached_property
     def active_assignments(self) -> tuple[PathAssignment, ...]:
         return tuple(a for a in self.assignments if a.nbytes > 0)
 
-    @property
+    @cached_property
     def num_active_paths(self) -> int:
         return len(self.active_assignments)
 
@@ -150,6 +154,7 @@ class PathPlanner:
         phi_sizes: Sequence[int] = DEFAULT_PHI_SIZES,
         phi_mode: str = "per-size",
         obs: "Observability | None" = None,
+        flight=None,
     ) -> None:
         if phi_mode not in ("per-size", "calibrated"):
             raise ValueError("phi_mode must be 'per-size' or 'calibrated'")
@@ -170,6 +175,10 @@ class PathPlanner:
         #: Optional observability bundle; every guard below is one
         #: ``is not None`` check so the uninstrumented path stays free.
         self.obs = obs
+        #: Optional FlightRecorder: decisions made while the transport has
+        #: a trace open (``flight.active_trace``) carry that trace id, so
+        #: the decision log joins against the flight recorder's spans.
+        self.flight = flight
 
     # ------------------------------------------------------------------
     def plan(
@@ -238,11 +247,18 @@ class PathPlanner:
     ) -> None:
         """Record one decision (cold on the uninstrumented path)."""
         load_bucket = self._plan_load_bucket(plan, load)
+        flight = self.flight
+        trace_id = (
+            flight.active_trace
+            if flight is not None and flight.enabled
+            else -1
+        )
         obs.decisions.log_plan(
             plan,
             cache_hit=plan.from_cache,
             wall_time_s=wall_time_s,
             load_bucket=load_bucket,
+            trace_id=trace_id,
         )
         m = obs.metrics
         m.counter("planner.plans").inc()

@@ -17,7 +17,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.obs.chrome_trace import chrome_trace, dump_chrome_trace, trace_events
+from repro.obs.chrome_trace import (
+    FLIGHT_PID,
+    chrome_trace,
+    dump_chrome_trace,
+    trace_events,
+)
 from repro.obs.critical_path import (
     CriticalPathAnalyzer,
     PathContribution,
@@ -42,6 +47,12 @@ from repro.obs.metrics import (
     Timer,
 )
 from repro.obs.spans import Span, SpanLog
+from repro.obs.tracing import (
+    FlightRecorder,
+    SpanView,
+    TraceBreakdown,
+    TraceTree,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.planner import TransferPlan
@@ -106,4 +117,9 @@ __all__ = [
     "chrome_trace",
     "trace_events",
     "dump_chrome_trace",
+    "FLIGHT_PID",
+    "FlightRecorder",
+    "SpanView",
+    "TraceTree",
+    "TraceBreakdown",
 ]

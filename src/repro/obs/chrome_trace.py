@@ -1,11 +1,20 @@
 """Chrome-trace (``chrome://tracing`` / Perfetto) timeline export.
 
 Converts :class:`~repro.sim.trace.Tracer` records (one per completed channel
-transfer) and :class:`~repro.obs.spans.SpanLog` spans (puts, per-path
-pipeline executions, planner calls) into the Trace Event Format: a JSON
+transfer), :class:`~repro.obs.spans.SpanLog` spans (puts, per-path pipeline
+executions, planner calls), and :class:`~repro.obs.tracing.FlightRecorder`
+spans (the causal per-transfer story) into the Trace Event Format: a JSON
 object with a ``traceEvents`` list of complete ("ph": "X") events carrying
 ``pid``/``tid``/``ts``/``dur``, plus metadata ("ph": "M") events naming the
 rows.  Simulated seconds map to trace microseconds.
+
+Row (tid) assignment is **stable**: rows are sorted by name before numbering,
+so two exports of equivalent runs place every path/queue/recovery row at the
+same tid regardless of completion order.  ``recovery`` spans get their own
+row per pair (they overlap the put span they recover, and same-row overlaps
+are hidden by timeline viewers).  Flight-recorder spans live under their own
+process with one row per trace; every event carries ``args.trace_id`` so
+existing tooling can group a transfer's stages.
 
 Load the output via ``chrome://tracing`` or https://ui.perfetto.dev.
 """
@@ -17,7 +26,8 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.obs.spans import SpanLog
+    from repro.obs.spans import Span, SpanLog
+    from repro.obs.tracing import FlightRecorder
     from repro.sim.trace import Tracer
 
 #: Trace-event timestamps are microseconds; the simulator runs in seconds.
@@ -25,6 +35,7 @@ _US = 1e6
 
 FABRIC_PID = 0
 TRANSPORT_PID = 1
+FLIGHT_PID = 2
 
 
 def _meta(pid: int, name: str) -> dict:
@@ -47,35 +58,53 @@ def _thread_meta(pid: int, tid: int, name: str) -> dict:
     }
 
 
+def _span_row(span: "Span") -> str:
+    """Timeline row for a transport span.
+
+    Most spans keep their track, but ``recovery`` spans are re-rowed: they
+    share the put's track and overlap the put interval, and viewers drop
+    same-row overlaps — which made fault retries vanish from the timeline.
+    """
+    if span.cat == "recovery" and not span.track.startswith("recovery:"):
+        _, _, pair = span.track.partition(":")
+        return f"recovery:{pair or span.track}"
+    return span.track
+
+
 def trace_events(
-    tracer: "Tracer | None" = None, spans: "SpanLog | None" = None
+    tracer: "Tracer | None" = None,
+    spans: "SpanLog | None" = None,
+    flight: "FlightRecorder | None" = None,
 ) -> list[dict]:
     """Flat ``traceEvents`` list for the given sources.
 
     Metadata ("M") events lead, then every complete ("X") event sorted by
-    timestamp across both sources.  Tracer records arrive in *completion*
+    timestamp across all sources.  Tracer records arrive in *completion*
     order and spans per layer, so without the sort a timeline viewer (or
     a streaming consumer) would see time move backwards.  tids are
-    assigned per row name in first-appearance order of the underlying
-    logs, so the mapping is stable for a given run.
+    assigned per sorted row name, so the mapping is stable across runs
+    that produce the same rows in any order.
     """
     meta: list[dict] = []
     complete: list[dict] = []
     if tracer is not None and tracer.records:
         meta.append(_meta(FABRIC_PID, "fabric (channels)"))
-        tids: dict[str, int] = {}
+        tids = {
+            name: i
+            for i, name in enumerate(
+                sorted({rec.channel for rec in tracer.records})
+            )
+        }
+        for name, tid in tids.items():
+            meta.append(_thread_meta(FABRIC_PID, tid, name))
         for rec in tracer.records:
-            tid = tids.get(rec.channel)
-            if tid is None:
-                tid = tids[rec.channel] = len(tids)
-                meta.append(_thread_meta(FABRIC_PID, tid, rec.channel))
             complete.append(
                 {
                     "name": rec.tag or rec.channel,
                     "cat": "fabric",
                     "ph": "X",
                     "pid": FABRIC_PID,
-                    "tid": tid,
+                    "tid": tids[rec.channel],
                     "ts": rec.start * _US,
                     "dur": rec.duration * _US,
                     "args": {"nbytes": rec.nbytes, "channel": rec.channel},
@@ -83,22 +112,55 @@ def trace_events(
             )
     if spans is not None and spans.spans:
         meta.append(_meta(TRANSPORT_PID, "transport (puts / paths / plans)"))
-        tids = {}
+        tids = {
+            name: i
+            for i, name in enumerate(
+                sorted({_span_row(s) for s in spans.spans})
+            )
+        }
+        for name, tid in tids.items():
+            meta.append(_thread_meta(TRANSPORT_PID, tid, name))
         for span in spans.spans:
-            tid = tids.get(span.track)
-            if tid is None:
-                tid = tids[span.track] = len(tids)
-                meta.append(_thread_meta(TRANSPORT_PID, tid, span.track))
             complete.append(
                 {
                     "name": span.name,
                     "cat": span.cat,
                     "ph": "X",
                     "pid": TRANSPORT_PID,
-                    "tid": tid,
+                    "tid": tids[_span_row(span)],
                     "ts": span.start * _US,
                     "dur": span.duration * _US,
                     "args": dict(span.args),
+                }
+            )
+    if flight is not None and len(flight):
+        meta.append(_meta(FLIGHT_PID, "flight recorder (traces)"))
+        seen_traces: set[int] = set()
+        for view in flight.iter_spans():
+            if view.open:
+                continue  # still in flight at export time
+            if view.trace_id not in seen_traces:
+                seen_traces.add(view.trace_id)
+                meta.append(
+                    _thread_meta(
+                        FLIGHT_PID, view.trace_id, f"trace {view.trace_id}"
+                    )
+                )
+            complete.append(
+                {
+                    "name": view.kind,
+                    "cat": "flight",
+                    "ph": "X",
+                    "pid": FLIGHT_PID,
+                    "tid": view.trace_id,
+                    "ts": view.t0 * _US,
+                    "dur": view.duration * _US,
+                    "args": {
+                        "trace_id": view.trace_id,
+                        "sid": view.sid,
+                        "parent": view.parent,
+                        **view.attrs,
+                    },
                 }
             )
     complete.sort(key=lambda e: (e["ts"], e["pid"], e["tid"]))
@@ -108,12 +170,13 @@ def trace_events(
 def chrome_trace(
     tracer: "Tracer | None" = None,
     spans: "SpanLog | None" = None,
+    flight: "FlightRecorder | None" = None,
     *,
     metadata: dict | None = None,
 ) -> dict:
     """The full trace object (``traceEvents`` + display hints)."""
     return {
-        "traceEvents": trace_events(tracer, spans),
+        "traceEvents": trace_events(tracer, spans, flight),
         "displayTimeUnit": "ms",
         "otherData": metadata or {},
     }
@@ -123,12 +186,15 @@ def dump_chrome_trace(
     path: str | Path,
     tracer: "Tracer | None" = None,
     spans: "SpanLog | None" = None,
+    flight: "FlightRecorder | None" = None,
     *,
     metadata: dict | None = None,
 ) -> Path:
     """Write the trace JSON to ``path`` and return it."""
     path = Path(path)
-    path.write_text(json.dumps(chrome_trace(tracer, spans, metadata=metadata)))
+    path.write_text(
+        json.dumps(chrome_trace(tracer, spans, flight, metadata=metadata))
+    )
     return path
 
 
@@ -138,4 +204,5 @@ __all__ = [
     "dump_chrome_trace",
     "FABRIC_PID",
     "TRANSPORT_PID",
+    "FLIGHT_PID",
 ]

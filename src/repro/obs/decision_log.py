@@ -43,6 +43,7 @@ class PlannerDecision:
     thetas: tuple[float, ...]
     chunks: tuple[int, ...]
     load_bucket: int = 0  # worst bucketed hop load the plan saw (0 = idle)
+    trace_id: int = -1  # flight-recorder trace this decision served (-1: none)
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -72,6 +73,7 @@ class PlannerDecisionLog:
         cache_hit: bool,
         wall_time_s: float,
         load_bucket: int = 0,
+        trace_id: int = -1,
     ) -> None:
         if not self.enabled:
             return
@@ -90,6 +92,7 @@ class PlannerDecisionLog:
                 thetas=tuple(a.theta for a in plan.assignments),
                 chunks=tuple(a.chunks for a in plan.assignments),
                 load_bucket=load_bucket,
+                trace_id=trace_id,
             )
         )
         self._seq += 1

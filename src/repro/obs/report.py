@@ -9,6 +9,7 @@ from repro.util.tables import Table
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.critical_path import CriticalPathAnalyzer
     from repro.obs.drift import DriftController, PredictionErrorTracker
+    from repro.obs.tracing import FlightRecorder, TraceTree
 
 
 def drift_report(
@@ -156,4 +157,104 @@ def critical_path_report(
     return "\n".join(lines)
 
 
-__all__ = ["drift_report", "chaos_report", "critical_path_report"]
+def slowest_report(tree: "TraceTree", *, n: int = 10) -> str:
+    """The n slowest transfers with their per-stage time split."""
+    table = Table(
+        ["trace", "pair", "nbytes", "dur_ms", "queue_ms", "plan_us",
+         "exec_ms", "recovery_ms", "retries", "status"],
+        title=f"slowest transfers (top {n} by duration)",
+    )
+    roots = tree.slowest(n)
+    for root in roots:
+        bd = tree.breakdown(root.trace_id)
+        table.add(
+            trace=root.trace_id,
+            pair=f"{root.attrs.get('src', '?')}->{root.attrs.get('dst', '?')}",
+            nbytes=root.attrs.get("nbytes", "?"),
+            dur_ms=f"{root.duration * 1e3:.3f}",
+            queue_ms=f"{bd.stages['queue'] * 1e3:.3f}",
+            plan_us=f"{bd.stages['plan'] * 1e6:.1f}",
+            exec_ms=f"{bd.stages['execute'] * 1e3:.3f}",
+            recovery_ms=f"{bd.stages['recovery'] * 1e3:.3f}",
+            retries=root.attrs.get("retries", 0),
+            status="ok" if root.attrs.get("ok", True) else "FAILED",
+        )
+    lines = [table.render()]
+    if not roots:
+        lines.append("(no settled transfers in the flight recorder)")
+    lines.append(
+        "run `cli timeline <trace>` for a transfer's full span tree"
+    )
+    return "\n".join(lines)
+
+
+def timeline_report(tree: "TraceTree", trace_id: int) -> str:
+    """One trace's parent-linked span tree, depth-indented."""
+    bd = tree.breakdown(trace_id)
+    root = bd.root
+    lines = [
+        f"trace {trace_id}: "
+        f"{root.attrs.get('src', '?')}->{root.attrs.get('dst', '?')} "
+        f"{root.attrs.get('nbytes', '?')} bytes, "
+        f"{root.duration * 1e3:.3f} ms"
+        + ("" if not root.open else " (still open)"),
+        "",
+    ]
+    for depth, span in bd.walk():
+        marker = "·" if span.t1 == span.t0 else " "
+        dur = "open" if span.open else f"{span.duration * 1e6:10.1f}us"
+        t0 = f"{span.t0 * 1e3:9.3f}ms"
+        detail = ""
+        if "path" in span.attrs:
+            detail = f" path={span.attrs['path']} nbytes={span.attrs['nbytes']}"
+        elif "wall_time_s" in span.attrs:
+            detail = f" wall={span.attrs['wall_time_s'] * 1e6:.1f}us"
+        elif span.kind.startswith("recovery.retry"):
+            detail = (
+                f" rerouted={span.attrs.get('rerouted_bytes', 0)}"
+                f" failed={','.join(span.attrs.get('failed_paths', []))}"
+            )
+        lines.append(
+            f"  {t0} {dur} {marker} {'  ' * depth}{span.kind}{detail}"
+        )
+    stages = ", ".join(
+        f"{name}={sec * 1e6:.1f}us" for name, sec in bd.stages.items()
+    )
+    lines += ["", f"stage totals: {stages}"]
+    return "\n".join(lines)
+
+
+def tracing_stats_report(flight: "FlightRecorder") -> str:
+    """Recorder occupancy plus per-stage latency percentiles."""
+    s = flight.summary()
+    lines = [
+        f"flight recorder: {s['resident']}/{s['capacity']} spans resident, "
+        f"{s['spans_recorded']} recorded, {s['dropped']} dropped "
+        f"({s['dropped_open']} while open), "
+        f"{s['traces_started']} traces",
+    ]
+    table = Table(
+        ["stage", "count", "mean_us", "p50_us", "p90_us", "p99_us"],
+        title="per-stage latency",
+    )
+    for stage, snap in s["stages"].items():
+        table.add(
+            stage=stage,
+            count=snap["count"],
+            mean_us=f"{snap['mean'] * 1e6:.2f}",
+            p50_us=f"{snap['p50'] * 1e6:.2f}",
+            p90_us=f"{snap['p90'] * 1e6:.2f}",
+            p99_us=f"{snap['p99'] * 1e6:.2f}",
+        )
+    lines.append(table.render())
+    return "\n".join(lines)
+
+
+__all__ = [
+    "drift_report",
+    "chaos_report",
+    "critical_path_report",
+    "slowest_report",
+    "timeline_report",
+    "tracing_stats_report",
+]

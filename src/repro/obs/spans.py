@@ -4,11 +4,22 @@ The :class:`~repro.sim.trace.Tracer` sees completed channel transfers only.
 Higher layers (puts, per-path pipeline executions, planner invocations)
 record :class:`Span` entries here so the Chrome-trace export can show the
 full stack: put -> paths -> channel copies on one timeline.
+
+The log is a ring buffer (default 10 000 spans): long multi-transfer runs
+would otherwise grow memory without bound.  Evicted spans are counted
+(``dropped``) and their count/duration contributions are kept in running
+totals, so the aggregates in :meth:`SpanLog.summary` stay exact after
+eviction — the same treatment :class:`~repro.obs.decision_log.PlannerDecisionLog`
+received.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
+
+#: Default ring-buffer capacity of :class:`SpanLog`.
+DEFAULT_CAPACITY = 10_000
 
 
 @dataclass(frozen=True)
@@ -28,11 +39,21 @@ class Span:
 
 
 class SpanLog:
-    """Append-only span sink, mirroring the Tracer's API shape."""
+    """Bounded span sink, mirroring the Tracer's API shape."""
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(
+        self, enabled: bool = True, *, capacity: int | None = DEFAULT_CAPACITY
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None for unbounded)")
         self.enabled = enabled
-        self.spans: list[Span] = []
+        self.capacity = capacity
+        self.spans: deque[Span] = deque(maxlen=capacity)
+        # Running totals over *all* recorded spans, evicted ones included.
+        self._total = 0
+        self._dropped = 0
+        self._total_duration = 0.0
+        self._total_by_cat: dict[str, int] = {}
 
     def record(
         self,
@@ -43,8 +64,14 @@ class SpanLog:
         end: float,
         **args,
     ) -> None:
-        if self.enabled:
-            self.spans.append(Span(name, cat, track, start, end, args))
+        if not self.enabled:
+            return
+        if self.capacity is not None and len(self.spans) == self.capacity:
+            self._dropped += 1
+        self.spans.append(Span(name, cat, track, start, end, args))
+        self._total += 1
+        self._total_duration += end - start
+        self._total_by_cat[cat] = self._total_by_cat.get(cat, 0) + 1
 
     # ------------------------------------------------------------------
     def for_cat(self, cat: str) -> list[Span]:
@@ -56,8 +83,31 @@ class SpanLog:
     def __len__(self) -> int:
         return len(self.spans)
 
+    @property
+    def total_spans(self) -> int:
+        """Every span ever recorded, including evicted ones."""
+        return self._total
+
+    @property
+    def dropped(self) -> int:
+        """Spans evicted from the ring buffer."""
+        return self._dropped
+
+    def summary(self) -> dict:
+        return {
+            "spans": self._total,
+            "retained": len(self.spans),
+            "dropped": self._dropped,
+            "total_duration_s": self._total_duration,
+            "by_cat": dict(sorted(self._total_by_cat.items())),
+        }
+
     def clear(self) -> None:
         self.spans.clear()
+        self._total = 0
+        self._dropped = 0
+        self._total_duration = 0.0
+        self._total_by_cat = {}
 
 
-__all__ = ["Span", "SpanLog"]
+__all__ = ["Span", "SpanLog", "DEFAULT_CAPACITY"]

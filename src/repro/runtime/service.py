@@ -48,6 +48,8 @@ class _QueuedRequest:
     tag: str
     event: "Event"
     enqueued_at: float
+    trace_id: int = -1
+    root_sid: int = -1  # the trace's root "transfer" span
 
 
 class TransferManager:
@@ -101,9 +103,15 @@ class TransferManager:
             raise ValueError("negative transfer size")
         self.submitted += 1
         self._seq += 1
+        # Trace identity is minted at admission: the root "transfer" span
+        # opens here so queue wait is part of the transfer's story.
+        flight = self.context.flight
+        trace_id, root_sid = flight.begin_trace(
+            "transfer", {"src": src, "dst": dst, "nbytes": nbytes, "tag": tag}
+        ) if flight.enabled else (-1, -1)
         if self._can_admit(src, dst):
             self.dispatched_direct += 1
-            return self._dispatch(src, dst, nbytes, tag)
+            return self._dispatch(src, dst, nbytes, tag, trace_id, root_sid)
         req = _QueuedRequest(
             seq=self._seq,
             src=src,
@@ -112,6 +120,8 @@ class TransferManager:
             tag=tag,
             event=self.engine.event(),
             enqueued_at=self.engine.now,
+            trace_id=trace_id,
+            root_sid=root_sid,
         )
         self._queue.append(req)
         depth = len(self._queue)
@@ -140,7 +150,15 @@ class TransferManager:
                 return False
         return True
 
-    def _dispatch(self, src: int, dst: int, nbytes: int, tag: str) -> "Event":
+    def _dispatch(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        tag: str,
+        trace_id: int = -1,
+        root_sid: int = -1,
+    ) -> "Event":
         pair = (src, dst)
         self._inflight_pair[pair] = self._inflight_pair.get(pair, 0) + 1
         self._inflight_total += 1
@@ -149,11 +167,50 @@ class TransferManager:
         obs = self.context.obs
         if obs is not None:
             obs.metrics.gauge("transfer_manager.inflight").set(self._inflight_total)
-        ev = self.context.cuda_ipc.start_put(src, dst, nbytes, tag=tag)
-        ev.add_callback(lambda e, pair=pair: self._on_done(pair, e))
+        ev = self.context.cuda_ipc.start_put(
+            src, dst, nbytes, tag=tag, trace=(trace_id, root_sid)
+        )
+        # One completion callback: it settles the trace *before* pumping
+        # the queue, so a trace's own spans close before the next
+        # transfer's open.
+        ev.add_callback(
+            lambda e, pair=pair, t=trace_id, r=root_sid: self._on_done(
+                pair, e, t, r
+            )
+        )
         return ev
 
-    def _on_done(self, pair: tuple[int, int], ev: "Event") -> None:
+    def _finish_trace(
+        self,
+        trace_id: int,
+        root_sid: int,
+        ev: "Event",
+        coalesced_into: int = -1,
+    ) -> None:
+        """Record the ``settle`` marker and close the trace's root span."""
+        flight = self.context.flight
+        if ev.ok:
+            result = ev.value
+            attrs = {
+                "ok": True,
+                "retries": result.retries,
+                "rerouted_bytes": result.rerouted_bytes,
+            }
+        else:
+            attrs = {"ok": False}
+        if coalesced_into >= 0:
+            attrs["coalesced_into"] = coalesced_into
+        flight.settle(trace_id, root_sid, attrs)
+
+    def _on_done(
+        self,
+        pair: tuple[int, int],
+        ev: "Event",
+        trace_id: int = -1,
+        root_sid: int = -1,
+    ) -> None:
+        if root_sid >= 0:
+            self._finish_trace(trace_id, root_sid, ev)
         self._inflight_total -= 1
         left = self._inflight_pair.get(pair, 0) - 1
         if left > 0:
@@ -235,9 +292,21 @@ class TransferManager:
                 m.counter("transfer_manager.coalesced_bytes").inc(
                     sum(mm.nbytes for mm in members)
                 )
+        flight = self.context.flight
         for r in group:
             waited = now - r.enqueued_at
             self.queue_time_total += waited
+            if r.root_sid >= 0:
+                # one-shot queue span (enqueue -> dispatch); recording it
+                # feeds the queue_wait histogram via the kind's stage
+                flight.record(
+                    "admission.queue",
+                    r.trace_id,
+                    r.root_sid,
+                    r.enqueued_at,
+                    now,
+                    {"nbytes": r.nbytes, "coalesced": len(group) > 1},
+                )
             if obs is not None:
                 obs.metrics.histogram("transfer_manager.queue_time").observe(waited)
                 obs.spans.record(
@@ -253,7 +322,9 @@ class TransferManager:
                     coalesced=len(group) > 1,
                 )
         self.dispatched_queued += len(group)
-        put = self._dispatch(req.src, req.dst, total, req.tag)
+        put = self._dispatch(
+            req.src, req.dst, total, req.tag, req.trace_id, req.root_sid
+        )
 
         def settle(ev, group=group, merged=bool(members)):
             if ev.ok:
@@ -265,6 +336,16 @@ class TransferManager:
             else:
                 for r in group:
                     r.event.fail(ev._exception)
+            # Coalesced members ride the head's put: their traces settle
+            # here, pointing at the trace that carried their bytes.
+            for r in group[1:]:
+                if r.root_sid >= 0:
+                    self._finish_trace(
+                        r.trace_id,
+                        r.root_sid,
+                        ev,
+                        coalesced_into=group[0].trace_id,
+                    )
 
         put.add_callback(settle)
 

@@ -14,6 +14,7 @@ from repro.core.path_health import PathHealthRegistry
 from repro.core.planner import PathPlanner
 from repro.gpu.runtime import GPURuntime
 from repro.obs import DriftController, Observability
+from repro.obs.tracing import FlightRecorder
 from repro.runtime import TransferManager
 from repro.sim.engine import Engine
 from repro.sim.trace import Tracer
@@ -52,6 +53,14 @@ class UCXContext:
             ipc_open_cost=ipc_open_cost,
         )
         self.store = store if store is not None else ParameterStore.ground_truth(topology)
+        # The flight recorder is always constructed (a disabled one costs a
+        # single branch per span site) and on by default; it is created
+        # before the planner/pipeline so every layer can record into it.
+        self.flight = FlightRecorder(
+            engine,
+            capacity=self.config.flight_capacity,
+            enabled=self.config.flight_recorder,
+        )
         self.planner = PathPlanner(
             topology,
             self.store,
@@ -60,8 +69,9 @@ class UCXContext:
             alignment=self.config.planner_alignment,
             max_chunks=self.config.max_chunks,
             obs=obs,
+            flight=self.flight,
         )
-        self.pipeline = PipelineEngine(self.runtime, obs=obs)
+        self.pipeline = PipelineEngine(self.runtime, obs=obs, flight=self.flight)
         # Path circuit breakers: quarantined paths are excluded from
         # planning and their cached plans dropped (see cuda_ipc recovery).
         self.health = PathHealthRegistry(on_quarantine=self._on_quarantine)
@@ -113,6 +123,7 @@ class UCXContext:
         m.register_collector(
             "transfer_manager", lambda: self.transfers.stats_snapshot()
         )
+        m.register_collector("tracing", lambda: self.flight.summary())
         if obs.drift is not None:
             m.register_collector("drift", obs.drift.summary)
 
@@ -137,6 +148,7 @@ class UCXContext:
         decisions may change.
         """
         self.config = config
+        self.flight.enabled = config.flight_recorder
         self.planner = PathPlanner(
             self.topology,
             self.store,
@@ -145,6 +157,7 @@ class UCXContext:
             alignment=config.planner_alignment,
             max_chunks=config.max_chunks,
             obs=self.obs,
+            flight=self.flight,
         )
         if self.obs is not None and self.obs.drift is not None:
             # The controller invalidates through whichever planner is live.

@@ -14,6 +14,7 @@ Every GPU-to-GPU transfer lands here.  The module
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -86,23 +87,69 @@ class CudaIpcModule:
             return self.start_put(src, dst, nbytes, tag=tag)
         return manager.submit(src, dst, nbytes, tag=tag)
 
-    def start_put(self, src: int, dst: int, nbytes: int, *, tag: str = "") -> Event:
+    def start_put(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        *,
+        tag: str = "",
+        trace: tuple[int, int] = (-1, -1),
+    ) -> Event:
         """Issue a PUT directly, bypassing the transfer service.
 
         This is the pre-service issue path, kept as the manager's dispatch
         target and as the bit-identity reference for tests.  Application
         code should call :meth:`put`.
+
+        ``trace`` is the flight-recorder identity (``trace_id, root_sid``)
+        minted at admission; a standalone call (no manager in front) mints
+        its own trace here so every put has a complete story.
         """
         self.puts_issued += 1
-        return self.context.engine.process(
-            self._put_proc(src, dst, nbytes, tag, self.puts_issued),
+        flight = self.context.flight
+        trace_id, root_sid = trace
+        owns_root = False
+        if trace_id < 0 and flight.enabled:
+            trace_id, root_sid = flight.begin_trace(
+                "transfer", {"src": src, "dst": dst, "nbytes": nbytes, "tag": tag}
+            )
+            owns_root = True
+        ev = self.context.engine.process(
+            self._put_proc(src, dst, nbytes, tag, self.puts_issued, trace_id, root_sid),
             name=f"put:{src}->{dst}",
         )
+        if owns_root:
+            ev.add_callback(
+                lambda e, t=trace_id, r=root_sid: self._settle_trace(t, r, e)
+            )
+        return ev
 
-    def _put_proc(self, src: int, dst: int, nbytes: int, tag: str, seq: int):
+    def _settle_trace(self, trace_id: int, root_sid: int, ev: Event) -> None:
+        """Standalone puts: record ``settle`` and close the root span."""
+        flight = self.context.flight
+        attrs = {"ok": ev.ok}
+        if ev.ok:
+            result = ev.value
+            attrs["retries"] = result.retries
+            attrs["rerouted_bytes"] = result.rerouted_bytes
+        flight.settle(trace_id, root_sid, attrs)
+
+    def _put_proc(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        tag: str,
+        seq: int,
+        trace_id: int = -1,
+        root_sid: int = -1,
+    ):
         ctx = self.context
         cfg = ctx.config
         engine = ctx.engine
+        flight = ctx.flight
+        tracing = flight.enabled and trace_id >= 0
         start = engine.now
         # One label names the put span AND prefixes its per-path pipeline
         # spans/copy tags, so the critical-path analyzer can join them.
@@ -148,7 +195,6 @@ class CudaIpcModule:
         if eager:
             if cfg.eager_overhead > 0:
                 yield engine.timeout(cfg.eager_overhead)
-            plan = self._single_path_plan(src, dst, nbytes)
             mode = "single"
             protocol = "eager"
         else:
@@ -156,14 +202,12 @@ class CudaIpcModule:
                 yield engine.timeout(cfg.rndv_overhead)  # RTS/CTS handshake
             protocol = "rndv"
             if not cfg.multipath:
-                plan = self._single_path_plan(src, dst, nbytes)
                 mode = "single"
             elif cfg.static_shares:
-                plan = self._static_plan(src, dst, nbytes)
                 mode = "static"
             else:
-                plan = self._dynamic_plan(src, dst, nbytes)
                 mode = "dynamic"
+        plan = self._make_plan(src, dst, nbytes, mode, trace_id, root_sid)
 
         # ------------------------------------------------------------------
         # Execute, recovering from path failures/timeouts: each round runs
@@ -191,6 +235,10 @@ class CudaIpcModule:
         failed_paths: set[str] = set()
         current = plan
         attempt_label = label
+        # Flight-span state: round 0's path spans parent to the trace root;
+        # each retry round's parent to its open recovery.retry[k] span.
+        exec_parent = root_sid
+        retry_sid = -1
         while True:
             hold = tracker.acquire(current) if tracker is not None else None
             try:
@@ -199,16 +247,24 @@ class CudaIpcModule:
                         current,
                         tag=attempt_label,
                         deadline_factor=cfg.deadline_factor,
+                        trace=(trace_id, exec_parent),
                     )
                     execs, faults = settled.executions, settled.faults
                 else:
-                    execs = yield ctx.pipeline.execute(current, tag=attempt_label)
+                    execs = yield ctx.pipeline.execute(
+                        current, tag=attempt_label, trace=(trace_id, exec_parent)
+                    )
                     faults = ()
             finally:
                 if hold is not None:
                     tracker.release(hold)
             delivered += sum(e.nbytes for e in execs)
             delivered += sum(f.delivered for f in faults)
+            if tracing and retry_sid >= 0:
+                # the retry's story (backoff + replan + re-execution)
+                # ends when its execution round settles
+                flight.finish(retry_sid, faults=len(faults))
+                retry_sid = -1
             if health is not None:
                 now = engine.now
                 for e in execs:
@@ -249,10 +305,44 @@ class CudaIpcModule:
             retries += 1
             self.retries_total += 1
             backoff = cfg.retry_backoff * (2 ** (retries - 1))
+            if tracing:
+                retry_sid = flight.begin(
+                    f"recovery.retry[{retries}]",
+                    trace_id,
+                    parent=root_sid,
+                    attrs={
+                        "failed_paths": sorted(failed_paths),
+                        "backoff": backoff,
+                        "rerouted_bytes": remaining,
+                    },
+                )
+                exec_parent = retry_sid
             if backoff > 0:
                 yield engine.timeout(backoff)
-            current = self._replan(src, dst, remaining, failed_paths)
+            if tracing:
+                wall0 = time.perf_counter()
+                flight.active_trace = trace_id
+            try:
+                current = self._replan(src, dst, remaining, failed_paths)
+            finally:
+                if tracing:
+                    flight.active_trace = -1
+            if tracing:
+                wall = time.perf_counter() - wall0
+                flight.record(
+                    "plan",
+                    trace_id,
+                    parent=retry_sid,
+                    attrs={
+                        "mode": "replan",
+                        "paths": 0 if current is None else current.num_active_paths,
+                        "wall_time_s": wall,
+                    },
+                    stage_value=wall,
+                )
             if current is None:
+                if retry_sid >= 0:
+                    flight.finish(retry_sid, ok=False)
                 self.puts_failed += 1
                 if obs is not None:
                     obs.metrics.counter("recovery.puts_failed").inc()
@@ -356,6 +446,58 @@ class CudaIpcModule:
         if manager is None:
             return None
         return manager.load.snapshot()
+
+    def _make_plan(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        mode: str,
+        trace_id: int = -1,
+        parent_sid: int = -1,
+    ) -> TransferPlan:
+        """Obtain the mode's plan, recording a flight ``plan`` span.
+
+        Planning is synchronous — zero simulated time — so the span is an
+        instantaneous marker whose real cost lives in ``wall_time_s`` (and
+        feeds the ``planning`` stage histogram).  ``flight.active_trace``
+        is set only across this call, which never yields, so interleaved
+        put processes cannot observe each other's trace id.
+        """
+        ctx = self.context
+        flight = ctx.flight
+        tracing = flight.enabled and trace_id >= 0
+        if not tracing:
+            if mode == "single":
+                return self._single_path_plan(src, dst, nbytes)
+            if mode == "static":
+                return self._static_plan(src, dst, nbytes)
+            return self._dynamic_plan(src, dst, nbytes)
+        wall0 = time.perf_counter()
+        flight.active_trace = trace_id
+        try:
+            if mode == "single":
+                plan = self._single_path_plan(src, dst, nbytes)
+            elif mode == "static":
+                plan = self._static_plan(src, dst, nbytes)
+            else:
+                plan = self._dynamic_plan(src, dst, nbytes)
+        finally:
+            flight.active_trace = -1
+        wall = time.perf_counter() - wall0
+        flight.record(
+            "plan.cache_hit" if plan.from_cache else "plan",
+            trace_id,
+            parent_sid,
+            attrs={
+                "mode": mode,
+                "paths": plan.num_active_paths,
+                "predicted": plan.predicted_time,
+                "wall_time_s": wall,
+            },
+            stage_value=wall,
+        )
+        return plan
 
     def _dynamic_plan(self, src: int, dst: int, nbytes: int) -> TransferPlan:
         """Planner invocation with quarantined paths excluded.

@@ -29,6 +29,25 @@ from repro.sim.engine import Engine, Event
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs import Observability
 
+#: Precomputed flight-span kind strings for the common fan-outs, so the
+#: traced hot path never builds an f-string (plans rarely exceed a handful
+#: of paths; chunk counts are capped by TransportConfig.max_chunks).
+_KIND_CACHE_PATHS = 8
+_KIND_CACHE_CHUNKS = 32
+_PATH_KINDS = tuple(f"pipeline.path[{i}]" for i in range(_KIND_CACHE_PATHS))
+_CHUNK_KINDS = tuple(
+    tuple(
+        f"pipeline.path[{i}].chunk[{j}]" for j in range(_KIND_CACHE_CHUNKS)
+    )
+    for i in range(_KIND_CACHE_PATHS)
+)
+
+
+def _path_kind(path_index: int) -> str:
+    if path_index < _KIND_CACHE_PATHS:
+        return _PATH_KINDS[path_index]
+    return f"pipeline.path[{path_index}]"
+
 
 @dataclass(frozen=True)
 class PathExecution:
@@ -93,10 +112,15 @@ class PipelineEngine:
     """Executes transfer plans over the GPU runtime."""
 
     def __init__(
-        self, runtime: GPURuntime, *, obs: "Observability | None" = None
+        self,
+        runtime: GPURuntime,
+        *,
+        obs: "Observability | None" = None,
+        flight=None,
     ) -> None:
         self.runtime = runtime
         self.engine: Engine = runtime.engine
+        self.flight = flight  # FlightRecorder, wired by the context
         self._stream_pool: dict[tuple, Stream] = {}
         self.transfers_executed = 0
         self.paths_executed = 0
@@ -115,10 +139,17 @@ class PipelineEngine:
         return stream
 
     # ------------------------------------------------------------------
-    def execute(self, plan: TransferPlan, *, tag: str = "") -> Event:
+    def execute(
+        self,
+        plan: TransferPlan,
+        *,
+        tag: str = "",
+        trace: tuple[int, int] = (-1, -1),
+    ) -> Event:
         """Run all path assignments concurrently; event carries the
         list of :class:`PathExecution` results (completion = slowest path,
-        matching Eq. 4)."""
+        matching Eq. 4).  ``trace`` is the flight-recorder identity
+        (``trace_id, parent_sid``) the per-path spans attach under."""
         active = plan.active_assignments
         if not active:
             done = self.engine.event()
@@ -126,10 +157,10 @@ class PipelineEngine:
             return done
         self.transfers_executed += 1
         procs = []
-        for a in active:
+        for i, a in enumerate(active):
             procs.append(
                 self.engine.process(
-                    self._run_path(plan, a, tag),
+                    self._run_path(plan, a, tag, trace=trace, path_index=i),
                     name=f"path:{a.path.path_id}",
                 )
             )
@@ -142,6 +173,7 @@ class PipelineEngine:
         *,
         tag: str = "",
         deadline_factor: float | None = None,
+        trace: tuple[int, int] = (-1, -1),
     ) -> Event:
         """Run all paths and *settle* every one of them.
 
@@ -160,12 +192,16 @@ class PipelineEngine:
         order ``all_of`` would; only this wrapper process is added).
         """
         return self.engine.process(
-            self._settled_proc(plan, tag, deadline_factor),
+            self._settled_proc(plan, tag, deadline_factor, trace),
             name=f"settle:{tag or f'{plan.src}->{plan.dst}'}",
         )
 
     def _settled_proc(
-        self, plan: TransferPlan, tag: str, deadline_factor: float | None
+        self,
+        plan: TransferPlan,
+        tag: str,
+        deadline_factor: float | None,
+        trace: tuple[int, int] = (-1, -1),
     ):
         active = plan.active_assignments
         if not active:
@@ -173,10 +209,10 @@ class PipelineEngine:
         self.transfers_executed += 1
         t0 = self.engine.now
         entries: list[tuple[PathAssignment, Event, _PathProgress]] = []
-        for a in active:
+        for i, a in enumerate(active):
             progress = _PathProgress()
             proc = self.engine.process(
-                self._run_path(plan, a, tag, progress),
+                self._run_path(plan, a, tag, progress, trace=trace, path_index=i),
                 name=f"path:{a.path.path_id}",
             )
             proc.add_callback(
@@ -287,61 +323,108 @@ class PipelineEngine:
         a: PathAssignment,
         tag: str,
         progress: _PathProgress | None = None,
+        *,
+        trace: tuple[int, int] = (-1, -1),
+        path_index: int = 0,
     ):
         start = self.engine.now
         label = f"{tag}/{a.path.path_id}" if tag else a.path.path_id
-        if not a.path.is_staged:
-            stream = self._stream(
-                (plan.src, plan.dst, a.path.path_id, "direct"), plan.src
-            )
-            done = self.runtime.copy_on_hop_async(
-                a.path.hops[0], a.nbytes, stream, tag=f"{label}:direct"
-            )
-            if progress is not None:
-                done.add_callback(
-                    lambda ev, p=progress, n=a.nbytes: (
-                        setattr(p, "delivered", p.delivered + n)
-                        if ev.ok
-                        else None
-                    )
+        # The path's flight span is recorded in one shot when the path
+        # resolves (both endpoints are known by then), with chunk markers
+        # batched under it — the traced hot path opens nothing up front.
+        flight = self.flight
+        trace_id, parent = trace
+        traced = flight is not None and flight.enabled and trace_id >= 0
+        finals: list = []
+        try:
+            if not a.path.is_staged:
+                stream = self._stream(
+                    (plan.src, plan.dst, a.path.path_id, "direct"), plan.src
                 )
-            yield done
-            return self._path_done(plan, a, label, start, 1)
-
-        # Staged path: three-step chunk loop over two streams.
-        hop1, hop2 = a.path.hops
-        stage_dev = a.path.via if a.path.via is not None else plan.src
-        s1 = self._stream((plan.src, plan.dst, a.path.path_id, "h1"), plan.src)
-        s2 = self._stream((plan.src, plan.dst, a.path.path_id, "h2"), stage_dev)
-        epsilon = self.runtime.sync_cost(via_gpu=a.path.via is not None)
-
-        chunks = self._chunk_sizes(a.nbytes, a.chunks)
-        finals = []
-        for c, chunk_bytes in enumerate(chunks):
-            # Step 1: source -> staging location.
-            self.runtime.copy_on_hop_async(
-                hop1, chunk_bytes, s1, tag=f"{label}:h1:{c}"
-            )
-            arrived = self.runtime.create_event(f"{label}:c{c}")
-            arrived.record(s1)
-            # Step 2: synchronization point on the staging device.
-            s2.wait_event(arrived)
-            s2.delay(epsilon, label=f"{label}:sync:{c}")
-            # Step 3: staging location -> destination.
-            final = self.runtime.copy_on_hop_async(
-                hop2, chunk_bytes, s2, tag=f"{label}:h2:{c}"
-            )
-            if progress is not None:
-                final.add_callback(
-                    lambda ev, p=progress, n=chunk_bytes: (
-                        setattr(p, "delivered", p.delivered + n)
-                        if ev.ok
-                        else None
-                    )
+                done = self.runtime.copy_on_hop_async(
+                    a.path.hops[0], a.nbytes, stream, tag=f"{label}:direct"
                 )
-            finals.append(final)
-        yield finals[-1]
-        return self._path_done(plan, a, label, start, len(chunks))
+                if progress is not None:
+                    done.add_callback(
+                        lambda ev, p=progress, n=a.nbytes: (
+                            setattr(p, "delivered", p.delivered + n)
+                            if ev.ok
+                            else None
+                        )
+                    )
+                yield done
+                return self._path_done(
+                    plan, a, label, start, 1,
+                    trace if traced else None, path_index, finals,
+                )
+
+            # Staged path: three-step chunk loop over two streams.
+            hop1, hop2 = a.path.hops
+            stage_dev = a.path.via if a.path.via is not None else plan.src
+            s1 = self._stream((plan.src, plan.dst, a.path.path_id, "h1"), plan.src)
+            s2 = self._stream((plan.src, plan.dst, a.path.path_id, "h2"), stage_dev)
+            epsilon = self.runtime.sync_cost(via_gpu=a.path.via is not None)
+
+            chunks = self._chunk_sizes(a.nbytes, a.chunks)
+            for c, chunk_bytes in enumerate(chunks):
+                # Step 1: source -> staging location.
+                self.runtime.copy_on_hop_async(
+                    hop1, chunk_bytes, s1, tag=f"{label}:h1:{c}"
+                )
+                arrived = self.runtime.create_event(f"{label}:c{c}")
+                arrived.record(s1)
+                # Step 2: synchronization point on the staging device.
+                s2.wait_event(arrived)
+                s2.delay(epsilon, label=f"{label}:sync:{c}")
+                # Step 3: staging location -> destination.
+                final = self.runtime.copy_on_hop_async(
+                    hop2, chunk_bytes, s2, tag=f"{label}:h2:{c}"
+                )
+                if progress is not None:
+                    final.add_callback(
+                        lambda ev, p=progress, n=chunk_bytes: (
+                            setattr(p, "delivered", p.delivered + n)
+                            if ev.ok
+                            else None
+                        )
+                    )
+                finals.append(final)
+            yield finals[-1]
+            return self._path_done(
+                plan, a, label, start, len(chunks),
+                trace if traced else None, path_index, finals,
+            )
+        except BaseException:
+            if traced:
+                # The faulted path still gets its span (ok=False) and the
+                # markers of chunks that landed before it died, so the
+                # trace shows how far the path got.
+                cached = (
+                    _CHUNK_KINDS[path_index]
+                    if path_index < _KIND_CACHE_PATHS
+                    else ()
+                )
+                kinds: list = []
+                landed: list = []
+                for j, ev in enumerate(finals):
+                    if ev.ok:
+                        kinds.append(
+                            cached[j]
+                            if j < len(cached)
+                            else f"pipeline.path[{path_index}].chunk[{j}]"
+                        )
+                        landed.append(ev)
+                flight.record_path(
+                    _path_kind(path_index),
+                    trace_id,
+                    parent,
+                    start,
+                    self.engine.now,
+                    {"path": a.path.path_id, "nbytes": a.nbytes, "ok": False},
+                    kinds,
+                    landed,
+                )
+            raise
 
     def _path_done(
         self,
@@ -350,11 +433,39 @@ class PipelineEngine:
         label: str,
         start: float,
         chunks: int,
+        trace: tuple[int, int] | None = None,
+        path_index: int = 0,
+        finals: list = (),
     ) -> PathExecution:
         """Close out one path: accounting plus an optional trace span."""
         end = self.engine.now
         self.paths_executed += 1
         self.chunks_executed += chunks
+        if trace is not None:
+            # One-shot span + chunk markers in a single journal append.
+            # Every final-hop event is ok here (fail-fast routes faults to
+            # the except path), and its TransferResult value carries the
+            # chunk's destination-delivery time, so the recorder extracts
+            # timestamps lazily at materialisation.
+            trace_id, parent = trace
+            n = len(finals)
+            cached = (
+                _CHUNK_KINDS[path_index]
+                if path_index < _KIND_CACHE_PATHS
+                else ()
+            )
+            self.flight.record_path(
+                _path_kind(path_index),
+                trace_id,
+                parent,
+                start,
+                end,
+                {"path": a.path.path_id, "nbytes": a.nbytes, "chunks": chunks},
+                cached[:n] if n <= len(cached) else tuple(
+                    f"pipeline.path[{path_index}].chunk[{j}]" for j in range(n)
+                ),
+                finals,
+            )
         obs = self.obs
         if obs is not None:
             obs.spans.record(

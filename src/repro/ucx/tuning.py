@@ -57,6 +57,11 @@ class TransportConfig:
     max_inflight_total: int | None = None  # global admission cap
     max_inflight_per_pair: int | None = None  # per-(src,dst) admission cap
     coalesce_threshold: int = 0  # queued same-pair puts <= this merge (0=off)
+    # Flight recorder (see DESIGN.md §5f).  On by default: the span ring is
+    # slab-backed and never schedules events, so timelines are unaffected
+    # and the measured overhead stays under the perfsuite's 3% gate.
+    flight_recorder: bool = True
+    flight_capacity: int = 65_536  # span ring slots
 
     def __post_init__(self) -> None:
         if self.rndv_threshold < 0:
@@ -77,6 +82,8 @@ class TransportConfig:
             raise ValueError("max_inflight_per_pair must be >= 1 (or None)")
         if self.coalesce_threshold < 0:
             raise ValueError("coalesce_threshold must be >= 0")
+        if self.flight_capacity < 1:
+            raise ValueError("flight_capacity must be >= 1")
         total = sum(s.fraction for s in self.static_shares)
         if self.static_shares and abs(total - 1.0) > 1e-6:
             raise ValueError(f"static shares must sum to 1, got {total}")
@@ -115,7 +122,10 @@ class TransportConfig:
             pipelining=flag("UCX_MP_PIPELINE", True),
             sequential_initiation=flag("UCX_MP_SEQ_INIT", True),
             contention_aware=flag("UCX_MP_CONTENTION_AWARE", False),
+            flight_recorder=flag("UCX_MP_FLIGHT_RECORDER", True),
         )
+        if "UCX_MP_FLIGHT_CAPACITY" in env:
+            cfg = cfg.with_(flight_capacity=int(env["UCX_MP_FLIGHT_CAPACITY"]))
         if "UCX_MP_MAX_GPU_STAGED" in env:
             cfg = cfg.with_(max_gpu_staged=int(env["UCX_MP_MAX_GPU_STAGED"]))
         if "UCX_MP_EXCLUDE" in env:

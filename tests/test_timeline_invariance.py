@@ -152,6 +152,67 @@ def test_randomized_scenarios_bit_identical(seed):
     assert fab_i.rate_recomputes < fab_f.rate_recomputes
 
 
+def _ucx_workload(*, flight_recorder: bool, fault_at: float | None = None):
+    """A transport-level workload (queueing, multi-path puts, recovery when
+    ``fault_at`` arms a link-down) with the flight recorder on or off."""
+    from repro.sim.faults import FaultSchedule as Schedule
+    from repro.topology import systems
+    from repro.ucx import TransportConfig, UCXContext
+
+    eng = Engine()
+    tracer = Tracer()
+    topo = systems.beluga()
+    ctx = UCXContext(
+        eng,
+        topo,
+        config=TransportConfig(
+            max_inflight_per_pair=1, flight_recorder=flight_recorder
+        ),
+        tracer=tracer,
+    )
+    if fault_at is not None:
+        Schedule(
+            LinkDown(topo.direct_hop(0, 1)[0], at=fault_at, duration=1e3)
+        ).attach(ctx.runtime.fabric)
+    events = [
+        ctx.put(0, 1, nbytes, tag=f"t{i}")
+        for i, nbytes in enumerate((MiB, 8 * MiB, 2 * MiB))
+    ]
+    events.append(ctx.put(2, 3, 4 * MiB, tag="x"))
+    results = tuple(eng.run(until=ev) for ev in events)
+    return eng, tracer, results
+
+
+def test_flight_recorder_off_bit_identical():
+    """The recorder never schedules events or mutates simulation state, so
+    a recorder-on run's observable timeline is bit-identical to recorder-off
+    (the tentpole's always-on claim: tracing is pure observation)."""
+    eng_on, tr_on, res_on = _ucx_workload(flight_recorder=True)
+    eng_off, tr_off, res_off = _ucx_workload(flight_recorder=False)
+    assert tr_on.records == tr_off.records
+    assert eng_on.now == eng_off.now
+    assert res_on == res_off
+
+
+def test_flight_recorder_off_bit_identical_across_recovery():
+    """Same property through the retry/replan machinery, whose hot paths
+    carry the densest tracing touchpoints."""
+    # anchor the fault mid-way through the second (8 MiB, queued) put
+    eng0, _tr0, res0 = _ucx_workload(flight_recorder=False)
+    fault_at = res0[0].duration + 0.45 * res0[1].duration
+    eng_on, tr_on, res_on = _ucx_workload(
+        flight_recorder=True, fault_at=fault_at
+    )
+    eng_off, tr_off, res_off = _ucx_workload(
+        flight_recorder=False, fault_at=fault_at
+    )
+    assert any(r.retries > 0 for r in res_on)  # the fault actually bit
+    assert tr_on.records == tr_off.records
+    assert eng_on.now == eng_off.now
+    assert res_on == res_off
+    assert eng_on.now != eng0.now  # and it changed the timeline it traced
+
+
 def test_generator_produces_contention_and_faults():
     """The scenarios genuinely contain what they claim to mix."""
     kinds = set()
