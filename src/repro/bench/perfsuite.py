@@ -15,7 +15,11 @@ machine-readable ``BENCH_sim.json``:
 * **fig5** — one reduced FIG5 sweep cold (empty calibration memo, serial)
   and once warm + parallel, measuring the end-to-end wall-clock win of the
   calibration cache and the ``--jobs`` fan-out.
-* **planner** — cached Algorithm-1 lookups/sec (the per-put runtime cost).
+* **planner** — cached Algorithm-1 lookups/sec (the per-put runtime cost)
+  plus the cold (cache-miss) plans/sec sub-series.
+* **graph_replay** — warm compiled-graph replay vs cold per-transfer setup
+  (plan + pipeline construction); the ≥5x floor is gated in
+  ``benchmarks/test_sim_throughput.py``.
 * **fault_recovery** — the CHAOS headline: simulated recovery time of a
   mid-transfer LinkDown vs the fault-free run and vs restarting the whole
   transfer over the surviving paths.
@@ -46,7 +50,7 @@ from repro.sim.engine import Engine
 from repro.sim.fabric import Fabric
 from repro.units import MiB
 
-PERF_SUITE_VERSION = 3
+PERF_SUITE_VERSION = 4
 
 #: Series compared against the baseline by :func:`check_regression`:
 #: (json path, human label).  All are "higher is better" throughputs.
@@ -55,6 +59,9 @@ GATED_SERIES = (
     (("solver", "events_per_sec"), "solver microbench throughput"),
     (("solver", "speedup_vs_full_recompute"), "incremental solver speedup"),
     (("planner", "cached_lookups_per_sec"), "cached planner lookups"),
+    (("planner", "cold_plans_per_sec"), "cold (cache-miss) planner plans"),
+    (("graph_replay", "warm_replays_per_sec"), "warm graph replays"),
+    (("graph_replay", "speedup_replay_vs_cold"), "graph replay setup speedup"),
 )
 
 
@@ -320,11 +327,101 @@ def bench_planner(*, quick: bool = False, repeats: int = 3) -> dict:
             plan = planner.plan(0, 1, 64 * MiB)
         wall = min(wall, time.perf_counter() - t0)
     assert plan.from_cache
+    # Cache-miss sub-series: the full Algorithm-1 pass per plan.  This is
+    # the cost a graph/plan-cache miss actually pays, and the denominator
+    # of the cache's value proposition.
+    cold_plans = 200 if quick else 500
+    cold_wall = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        for _ in range(cold_plans):
+            cold = planner.plan(0, 1, 64 * MiB, use_cache=False)
+        cold_wall = min(cold_wall, time.perf_counter() - t0)
+    assert not cold.from_cache
     return {
         "lookups": lookups,
         "wall_s": wall,
         "cached_lookups_per_sec": lookups / wall if wall > 0 else 0.0,
         "overhead_vs_64mib_transfer": (wall / lookups) / plan.predicted_time,
+        "cold_plans": cold_plans,
+        "cold_wall_s": cold_wall,
+        "cold_plans_per_sec": cold_plans / cold_wall if cold_wall > 0 else 0.0,
+        "cache_speedup": (
+            (cold_wall / cold_plans) / (wall / lookups) if wall > 0 else 0.0
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# Compiled transfer-graph replay
+# ----------------------------------------------------------------------
+
+def bench_graph_replay(*, quick: bool = False, repeats: int = 3) -> dict:
+    """Warm graph replay vs cold per-transfer setup (DESIGN.md §5g).
+
+    Both arms measure *setup only* — what happens between ``put`` and the
+    first byte moving, execution excluded — over the same repeated
+    mixed-size stream:
+
+    * **cold** — what every transfer paid before compiled graphs: a
+      planner pass (warm *plan* cache, i.e. the cold arm still benefits
+      from the pre-existing cache) plus per-transfer pipeline setup
+      (chunk schedule, stream binding, tag construction — what
+      :func:`~repro.core.transfer_graph.compile_plan` captures).
+    * **warm** — a graph-cache key build plus an LRU hit returning the
+      pre-resolved :class:`~repro.core.transfer_graph.TransferGraph`.
+
+    The ≥5x ``speedup_replay_vs_cold`` floor is gated in
+    ``benchmarks/test_sim_throughput.py``.
+    """
+    from repro.bench.runner import get_setup
+    from repro.core.transfer_graph import GraphCache, compile_plan
+    from repro.ucx import TransportConfig, UCXContext
+
+    setup = get_setup("beluga")
+    ctx = UCXContext(Engine(), setup.topology, config=TransportConfig(),
+                     store=setup.store)
+    planner, pipeline = ctx.planner, ctx.pipeline
+    sizes = (8 * MiB, 64 * MiB, 2 * MiB, 16 * MiB)
+    ops = 2_000 if quick else 5_000
+    cache = GraphCache(ctx.config)
+    epoch = ctx.health.epoch
+    # warm both caches: one plan + one compiled graph per distinct size
+    for nbytes in sizes:
+        plan = planner.plan(0, 1, nbytes)
+        key = cache.key_for(0, 1, nbytes, "dynamic", health_epoch=epoch)
+        cache.compile_and_store(key, plan, pipeline, health_epoch=epoch)
+
+    cold_wall = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        for i in range(ops):
+            plan = planner.plan(0, 1, sizes[i % len(sizes)])
+            compile_plan(plan, pipeline)
+        cold_wall = min(cold_wall, time.perf_counter() - t0)
+
+    warm_wall = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        for i in range(ops):
+            key = cache.key_for(
+                0, 1, sizes[i % len(sizes)], "dynamic", health_epoch=epoch
+            )
+            graph = cache.get(key)
+        warm_wall = min(warm_wall, time.perf_counter() - t0)
+    assert graph is not None, "warm arm must hit the graph cache"
+
+    return {
+        "ops": ops,
+        "sizes": list(sizes),
+        "cold_wall_s": cold_wall,
+        "warm_wall_s": warm_wall,
+        "cold_setups_per_sec": ops / cold_wall if cold_wall > 0 else 0.0,
+        "warm_replays_per_sec": ops / warm_wall if warm_wall > 0 else 0.0,
+        "speedup_replay_vs_cold": (
+            cold_wall / warm_wall if warm_wall > 0 else 0.0
+        ),
+        "cache": cache.stats(),
     }
 
 
@@ -470,6 +567,7 @@ def run_suite(*, quick: bool = False, jobs: int | None = None) -> dict:
         "solver": bench_solver(quick=quick),
         "fig5": bench_fig5(quick=quick, jobs=jobs),
         "planner": bench_planner(quick=quick),
+        "graph_replay": bench_graph_replay(quick=quick),
         "fault_recovery": bench_fault_recovery(quick=quick),
         "tracing_overhead": bench_tracing_overhead(quick=quick),
     }
@@ -600,6 +698,7 @@ __all__ = [
     "bench_solver",
     "bench_fig5",
     "bench_planner",
+    "bench_graph_replay",
     "bench_fault_recovery",
     "bench_tracing_overhead",
     "run_suite",

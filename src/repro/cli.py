@@ -468,6 +468,57 @@ def cmd_timeline(args):
             print(f"wrote {path}", file=sys.stderr)
 
 
+def cmd_graphs(args):
+    """Compiled transfer-graph cache report of one instrumented BW run.
+
+    Hit rates, invalidation counters, and the per-key amortised setup cost
+    (compile wall clock spread over its replays — DESIGN.md §5g).  ``-o``
+    writes the stats as JSON; ``--dump PREFIX`` writes the usual artifact
+    bundle.
+    """
+    docs = {}
+    for system in _systems(args):
+        env, result = _instrumented_bw_run(args, system)
+        ctx = env.last_context
+        stats = ctx.graphs.stats()
+        lookups = stats["hits"] + stats["misses"]
+        hit_rate = stats["hits"] / lookups if lookups else 0.0
+        rows = ctx.graphs.report_rows()
+        docs[system] = {"stats": stats, "hit_rate": hit_rate, "graphs": rows}
+        print(
+            f"# graphs: {system} n={result.nbytes} window={result.window} "
+            f"bw={result.bandwidth / 1e9:.1f}GB/s"
+        )
+        print(
+            f"lookups={lookups} hit_rate={hit_rate:.1%} "
+            f"compiles={stats['compiles']} replays={stats['replays']} "
+            f"evictions={stats['evictions']} "
+            f"recovery_invalidations={stats['recovery_invalidations']} "
+            f"compile_wall={stats['compile_wall_s'] * 1e6:.0f}us"
+        )
+        print(
+            f"{'pair':>6} {'nbytes':>12} {'mode':>8} {'paths':>5} "
+            f"{'chunks':>6} {'replays':>7} {'compile_us':>10} {'amort_us':>9}"
+        )
+        for row in rows:
+            print(
+                f"{row['src']}->{row['dst']:<3} {row['nbytes']:>12} "
+                f"{row['mode']:>8} {row['paths']:>5} {row['chunks']:>6} "
+                f"{row['replays']:>7} {row['compile_us']:>10.1f} "
+                f"{row['amortized_us']:>9.2f}"
+            )
+        if args.dump:
+            prefix = args.dump if len(_systems(args)) == 1 else f"{args.dump}.{system}"
+            for path in dump_artifacts(prefix, ctx):
+                print(f"wrote {path}", file=sys.stderr)
+    doc = next(iter(docs.values())) if len(docs) == 1 else docs
+    if args.output:
+        with open(args.output, "w") as f:
+            json.dump(doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+
+
 def cmd_critical_path(args):
     """Per-transfer bottleneck/slack attribution of one instrumented run."""
     system = _systems(args)[0]
@@ -489,6 +540,7 @@ COMMANDS = {
     "chaos": cmd_chaos,
     "contention": cmd_contention,
     "critical-path": cmd_critical_path,
+    "graphs": cmd_graphs,
     "slowest": cmd_slowest,
     "timeline": cmd_timeline,
     "conc": cmd_conc,

@@ -32,6 +32,7 @@ from repro.core.contention import ContentionAwareModel, ContentionSolution
 from repro.core.hockney import HockneyModel, MultiPathModel
 from repro.core.optimizer import FractionSolution, optimal_fractions
 from repro.core.planner import PathAssignment, PathPlanner, TransferPlan, plan_transfer
+from repro.core.transfer_graph import CompiledPath, GraphCache, TransferGraph
 from repro.core.window_model import predict_windowed_bandwidth, windowed_bandwidth
 
 __all__ = [
@@ -46,6 +47,9 @@ __all__ = [
     "TransferPlan",
     "PathAssignment",
     "plan_transfer",
+    "TransferGraph",
+    "CompiledPath",
+    "GraphCache",
     "ContentionAwareModel",
     "ContentionSolution",
     "CollectiveModel",

@@ -179,6 +179,10 @@ class PathPlanner:
         #: a trace open (``flight.active_trace``) carry that trace id, so
         #: the decision log joins against the flight recorder's spans.
         self.flight = flight
+        #: Optional GraphCache of compiled transfer graphs.  Graphs embed
+        #: resolved plans, so every plan-cache invalidation below forwards
+        #: to it — a graph must never outlive the plan it froze.
+        self.graphs = None
 
     # ------------------------------------------------------------------
     def plan(
@@ -423,6 +427,8 @@ class PathPlanner:
         φ derives from (α̂, β̂, ε̂).  Returns the number of plans dropped.
         """
         self._phi_cache.clear()
+        if self.graphs is not None:
+            self.graphs.invalidate_hops(hops)
         if hops is None:
             return self.cache.invalidate(lambda key, plan: True)
         hopset = {tuple(h) for h in hops}
@@ -446,6 +452,8 @@ class PathPlanner:
         key, so only *stale* entries need dropping).  Returns the number of
         plans invalidated.
         """
+        if self.graphs is not None:
+            self.graphs.invalidate_path(src, dst, path_id)
         return self.cache.invalidate(
             lambda key, plan: plan.src == src
             and plan.dst == dst

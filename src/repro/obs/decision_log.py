@@ -44,6 +44,7 @@ class PlannerDecision:
     chunks: tuple[int, ...]
     load_bucket: int = 0  # worst bucketed hop load the plan saw (0 = idle)
     trace_id: int = -1  # flight-recorder trace this decision served (-1: none)
+    graph: bool = False  # served by compiled-graph replay (implies cache_hit)
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -64,6 +65,7 @@ class PlannerDecisionLog:
         self._seq = 0
         self._dropped = 0
         self._total_cache_hits = 0
+        self._total_graph_hits = 0
         self._total_wall_time = 0.0
 
     def log_plan(
@@ -74,6 +76,7 @@ class PlannerDecisionLog:
         wall_time_s: float,
         load_bucket: int = 0,
         trace_id: int = -1,
+        graph: bool = False,
     ) -> None:
         if not self.enabled:
             return
@@ -93,11 +96,14 @@ class PlannerDecisionLog:
                 chunks=tuple(a.chunks for a in plan.assignments),
                 load_bucket=load_bucket,
                 trace_id=trace_id,
+                graph=graph,
             )
         )
         self._seq += 1
         if cache_hit:
             self._total_cache_hits += 1
+        if graph:
+            self._total_graph_hits += 1
         self._total_wall_time += wall_time_s
 
     # ------------------------------------------------------------------
@@ -119,6 +125,10 @@ class PlannerDecisionLog:
         return self._total_cache_hits
 
     @property
+    def graph_hits(self) -> int:
+        return self._total_graph_hits
+
+    @property
     def cache_hit_rate(self) -> float:
         return self._total_cache_hits / self._seq if self._seq else 0.0
 
@@ -132,6 +142,7 @@ class PlannerDecisionLog:
             "dropped": self._dropped,
             "cache_hits": self._total_cache_hits,
             "cache_hit_rate": self.cache_hit_rate,
+            "graph_hits": self._total_graph_hits,
             "total_wall_time_s": self._total_wall_time,
         }
 
@@ -143,6 +154,7 @@ class PlannerDecisionLog:
         self._seq = 0
         self._dropped = 0
         self._total_cache_hits = 0
+        self._total_graph_hits = 0
         self._total_wall_time = 0.0
 
 

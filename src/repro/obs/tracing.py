@@ -78,6 +78,7 @@ _KIND_STAGE = {
     "pipeline.path": "execution",
     "plan": "planning",
     "plan.cache_hit": "planning",
+    "plan.graph_hit": "planning",
 }
 
 _INDEX_RE = re.compile(r"\[\d+\]")

@@ -366,6 +366,11 @@ class TransferManager:
             "coalesced_bytes": self.coalesced_bytes,
             "queue_time_total": self.queue_time_total,
             "load": self.load.stats_snapshot(),
+            "graphs": (
+                self.context.graphs.stats()
+                if getattr(self.context, "graphs", None) is not None
+                else {}
+            ),
         }
 
 

@@ -31,6 +31,10 @@ Three layers keep the hot paths flat:
   The :class:`FabricFlow` object survives as the API facade (tags,
   completion events, failure predicates); its ``rate``/``remaining``
   mirrors are refreshed on exposure via :meth:`Fabric.flows_on`.
+  Per-channel byte attribution is *lazy*: ``_sync`` accumulates progress
+  in a per-flow cell and the channel fan-out happens once at flow removal
+  (or a ``stats_snapshot`` query), with ``busy_time`` driven by a
+  maintained set of rate>0 channels instead of a per-interval scan.
 * **Incremental membership.**  The per-channel member index and live-flow
   counts are maintained on admit/finish instead of rebuilt per recompute,
   and a full progressive-filling pass is skipped entirely when a change is
@@ -147,14 +151,21 @@ class Fabric:
         self._ch_members: list[dict[int, None]] = []
         #: channel ids with at least one live flow, in first-use order
         self._act_ch: dict[int, None] = {}
-        # solver / sync scratch, one cell per channel
+        # solver scratch, one cell per channel
         self._ch_cap: list[float] = []
         self._ch_live: list[int] = []
-        self._ch_stamp: list[int] = []
-        self._ch_acc: list[float] = []
+        #: channel ids crossed by at least one live flow at rate > 0 — the
+        #: channels accruing ``busy_time``; rebuilt wherever rates are
+        #: assigned (progressive filling, fast admit) so membership always
+        #: reflects the current allocation
+        self._busy_ci: set[int] = set()
         # ----- flow struct-of-arrays (indexed by free-listed slot)
         self._f_rate: list[float] = []
         self._f_rem: list[float] = []
+        #: bytes progressed but not yet attributed to channel stats — the
+        #: per-channel fan-out is deferred to flow removal (or a stats
+        #: query), so ``_sync``'s inner loop is one add per flow
+        self._f_acc: list[float] = []
         self._f_eps: list[float] = []
         self._f_mark: list[int] = []
         self._f_chans: list[tuple[int, ...] | None] = []
@@ -172,7 +183,6 @@ class Fabric:
         self._stalled: set[str] = set()
         self._stalled_ci: set[int] = set()
         self._last_sync = 0.0
-        self._sync_stamp = 0
         self._wakeup_generation = 0
         self._solve_mark = 0
         self._pending_wakeup: int | None = None
@@ -211,8 +221,6 @@ class Fabric:
         self._ch_members.append({})
         self._ch_cap.append(0.0)
         self._ch_live.append(0)
-        self._ch_stamp.append(0)
-        self._ch_acc.append(0.0)
         return ch
 
     def set_beta(self, name: str, beta: float) -> None:
@@ -385,6 +393,14 @@ class Fabric:
         slot = flow.slot
         local = True
         del self._live_slots[slot]
+        acc = self._f_acc[slot]
+        if acc > 0.0:
+            # Lazy attribution: the flow's whole-lifetime progress lands on
+            # its channels here, once, instead of per sync interval.
+            ch_objs = self._ch_objs
+            for ci in self._f_chans[slot]:
+                ch_objs[ci].total_bytes += acc
+            self._f_acc[slot] = 0.0
         for ci in self._f_chans[slot]:
             members = self._ch_members[ci]
             members.pop(slot, None)
@@ -392,6 +408,7 @@ class Fabric:
                 local = False
             else:
                 self._act_ch.pop(ci, None)
+                self._busy_ci.discard(ci)
         self._f_chans[slot] = None
         self._f_obj[slot] = None
         self._free_slots.append(slot)
@@ -446,12 +463,14 @@ class Fabric:
             slot = free.pop()
             self._f_rate[slot] = 0.0
             self._f_rem[slot] = flow.remaining
+            self._f_acc[slot] = 0.0
             self._f_eps[slot] = flow.done_eps
             self._f_mark[slot] = -1
         else:
             slot = len(self._f_rate)
             self._f_rate.append(0.0)
             self._f_rem.append(flow.remaining)
+            self._f_acc.append(0.0)
             self._f_eps.append(flow.done_eps)
             self._f_mark.append(-1)
             self._f_chans.append(None)
@@ -490,6 +509,7 @@ class Fabric:
                 self._f_rate[slot] = 0.0
             else:
                 self._f_rate[slot] = min(ch_objs[ci].beta for ci in cis)
+                self._busy_ci.update(cis)
             self._invalidate_wakeup()
             self._arm_wakeup()
         else:
@@ -506,36 +526,32 @@ class Fabric:
             self._recompute()
 
     def _sync(self) -> None:
-        """Integrate all flows' progress at their current rates."""
+        """Integrate all flows' progress at their current rates.
+
+        Byte attribution is *lazy*: progress accumulates in the per-flow
+        ``_f_acc`` cell and fans out to the crossed channels only at flow
+        removal or a stats query (:meth:`_flush_attribution`), so the hot
+        loop here is one multiply-add per live flow regardless of how many
+        channels each flow crosses.
+        """
         now = self.engine.now
         elapsed = now - self._last_sync
         if elapsed > 0 and self._live_slots:
-            # A channel is busy only if its crossing flows moved bytes in
-            # this interval: flows frozen at rate 0 by progressive filling
-            # occupy the channel nominally but transfer nothing, and must
-            # not inflate utilisation reports.
-            f_rate, f_rem, f_chans = self._f_rate, self._f_rem, self._f_chans
-            stamp_arr, acc = self._ch_stamp, self._ch_acc
-            self._sync_stamp += 1
-            stamp = self._sync_stamp
-            touched: list[int] = []
+            f_rate, f_rem, f_acc = self._f_rate, self._f_rem, self._f_acc
             for s in self._live_slots:
                 progressed = f_rate[s] * elapsed
                 if progressed <= 0:
                     continue
                 remaining = f_rem[s] - progressed
                 f_rem[s] = remaining if remaining > 0.0 else 0.0
-                for ci in f_chans[s]:
-                    if stamp_arr[ci] == stamp:
-                        acc[ci] += progressed
-                    else:
-                        stamp_arr[ci] = stamp
-                        acc[ci] = progressed
-                        touched.append(ci)
-            for ci in touched:
-                ch = self._ch_objs[ci]
-                ch.total_bytes += acc[ci]
-                ch.busy_time += elapsed
+                f_acc[s] += progressed
+            # A channel is busy only while it moves bytes: ``_busy_ci``
+            # holds exactly the channels with a rate>0 crossing flow, so
+            # flows frozen at rate 0 by progressive filling occupy their
+            # channels nominally but never inflate utilisation reports.
+            ch_objs = self._ch_objs
+            for ci in self._busy_ci:
+                ch_objs[ci].busy_time += elapsed
         self._last_sync = now
 
     def _max_min_rates(self) -> None:
@@ -564,6 +580,8 @@ class Fabric:
                         active.append(ci)
         else:
             active = list(self._act_ch)
+        busy = self._busy_ci
+        busy.clear()
         ch_objs = self._ch_objs
         for ci in active:
             cap[ci] = ch_objs[ci].beta
@@ -613,6 +631,11 @@ class Fabric:
                     c = cap[ci] - limit
                     cap[ci] = c if c > 0.0 else 0.0
                     live[ci] -= 1
+            if limit > 0.0:
+                # these flows will move bytes: their channels accrue
+                # busy_time until the next rate assignment
+                for s in to_freeze:
+                    busy.update(f_chans[s])
             unfrozen -= len(to_freeze)
 
     def _invalidate_wakeup(self) -> None:
@@ -646,6 +669,7 @@ class Fabric:
         self._dirty = False
         self._invalidate_wakeup()
         if not self._live_slots:
+            self._busy_ci.clear()
             return
         self.rate_recomputes += 1
         self._max_min_rates()
@@ -760,6 +784,22 @@ class Fabric:
             flows.append(flow)
         return flows
 
+    def _flush_attribution(self) -> None:
+        """Attribute live flows' accumulated progress to their channels.
+
+        Run before exposing channel totals so ``stats_snapshot`` stays
+        exact under the lazy per-flow accounting; flushed cells reset to
+        zero, so the eventual removal flush never double-counts.
+        """
+        f_acc, f_chans = self._f_acc, self._f_chans
+        ch_objs = self._ch_objs
+        for s in self._live_slots:
+            acc = f_acc[s]
+            if acc > 0.0:
+                for ci in f_chans[s]:
+                    ch_objs[ci].total_bytes += acc
+                f_acc[s] = 0.0
+
     def reset_stats(self) -> None:
         self.flows_admitted = 0
         self.flows_completed = 0
@@ -777,9 +817,13 @@ class Fabric:
             ch.max_concurrency = 0
             ch.completed_bytes = 0.0
             ch.completed_flows = 0
+        # drop pre-reset progress still pending lazy attribution
+        for s in self._live_slots:
+            self._f_acc[s] = 0.0
 
     def stats_snapshot(self) -> dict:
         """Structured run statistics, pulled by a metrics collector."""
+        self._flush_attribution()  # make live flows' totals exact
         return {
             "flows_admitted": self.flows_admitted,
             "flows_completed": self.flows_completed,

@@ -12,6 +12,7 @@ from collections.abc import Callable
 from repro.core.params import ParameterStore
 from repro.core.path_health import PathHealthRegistry
 from repro.core.planner import PathPlanner
+from repro.core.transfer_graph import GraphCache
 from repro.gpu.runtime import GPURuntime
 from repro.obs import DriftController, Observability
 from repro.obs.tracing import FlightRecorder
@@ -72,6 +73,13 @@ class UCXContext:
             flight=self.flight,
         )
         self.pipeline = PipelineEngine(self.runtime, obs=obs, flight=self.flight)
+        # Compiled transfer graphs (DESIGN.md §5g): replayed by cuda_ipc,
+        # invalidated through the planner (refresh_params/invalidate_path
+        # forward to it) so a graph never outlives the plan it froze.
+        self.graphs = GraphCache(
+            self.config, capacity=self.config.graph_cache_capacity
+        )
+        self.planner.graphs = self.graphs
         # Path circuit breakers: quarantined paths are excluded from
         # planning and their cached plans dropped (see cuda_ipc recovery).
         self.health = PathHealthRegistry(on_quarantine=self._on_quarantine)
@@ -118,6 +126,7 @@ class UCXContext:
                 **obs.decisions.summary(),
             },
         )
+        m.register_collector("transfer_graph", lambda: self.graphs.stats())
         m.register_collector("model_error", obs.errors.summary)
         m.register_collector("path_health", self.health.snapshot)
         m.register_collector(
@@ -159,6 +168,11 @@ class UCXContext:
             obs=self.obs,
             flight=self.flight,
         )
+        # Graphs froze plans shaped by the old knobs: rebuild the cache
+        # (its config fingerprint changes with the knobs) and rewire the
+        # invalidation forwarding through the fresh planner.
+        self.graphs = GraphCache(config, capacity=config.graph_cache_capacity)
+        self.planner.graphs = self.graphs
         if self.obs is not None and self.obs.drift is not None:
             # The controller invalidates through whichever planner is live.
             self.obs.drift.planner = self.planner

@@ -27,6 +27,11 @@ from repro.topology.routing import enumerate_paths
 if TYPE_CHECKING:  # pragma: no cover
     from repro.ucx.context import UCXContext
 
+#: Sentinel distinguishing "not computed" from a computed ``None``/empty
+#: value when :meth:`CudaIpcModule._acquire_plan` threads its one-shot load
+#: snapshot and health query into the planning helpers below.
+_UNSET = object()
+
 
 @dataclass(frozen=True)
 class PutResult:
@@ -207,7 +212,7 @@ class CudaIpcModule:
                 mode = "static"
             else:
                 mode = "dynamic"
-        plan = self._make_plan(src, dst, nbytes, mode, trace_id, root_sid)
+        plan, graph = self._acquire_plan(src, dst, nbytes, mode, trace_id, root_sid)
 
         # ------------------------------------------------------------------
         # Execute, recovering from path failures/timeouts: each round runs
@@ -248,11 +253,15 @@ class CudaIpcModule:
                         tag=attempt_label,
                         deadline_factor=cfg.deadline_factor,
                         trace=(trace_id, exec_parent),
+                        graph=graph,
                     )
                     execs, faults = settled.executions, settled.faults
                 else:
                     execs = yield ctx.pipeline.execute(
-                        current, tag=attempt_label, trace=(trace_id, exec_parent)
+                        current,
+                        tag=attempt_label,
+                        trace=(trace_id, exec_parent),
+                        graph=graph,
                     )
                     faults = ()
             finally:
@@ -273,6 +282,12 @@ class CudaIpcModule:
                     health.record_failure(src, dst, f.path_id, now=now)
             if not faults:
                 break
+            if graph is not None:
+                # The schedule just proved wrong for the fabric as it is:
+                # drop it so the next same-shape put compiles fresh.  The
+                # recovery replans below always take the cold path.
+                ctx.graphs.discard(graph.key)
+                graph = None
             if fault_time is None:
                 fault_time = min(f.end for f in faults)
             failed_paths.update(f.path_id for f in faults)
@@ -447,6 +462,94 @@ class CudaIpcModule:
             return None
         return manager.load.snapshot()
 
+    def _acquire_plan(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        mode: str,
+        trace_id: int = -1,
+        parent_sid: int = -1,
+    ):
+        """Resolve the transfer's plan, trying compiled-graph replay first.
+
+        Returns ``(plan, graph)``; ``graph`` is ``None`` when graphs are
+        disabled (or no cache is wired), otherwise the replayed *or*
+        freshly compiled :class:`~repro.core.transfer_graph.TransferGraph`
+        the execution rounds should drive.
+
+        The load snapshot and the health query are taken exactly ONCE here
+        and threaded into the cold path: :meth:`PathHealthRegistry.excluded`
+        has a probe side effect (quarantined -> probing when the probe is
+        due), so querying it a second time for the cold plan would see the
+        path as PROBING (excluded) where the graphs-off transport would
+        have probed it — breaking bit-identity.
+        """
+        ctx = self.context
+        graphs = getattr(ctx, "graphs", None)
+        if graphs is None or not ctx.config.transfer_graphs:
+            return self._make_plan(src, dst, nbytes, mode, trace_id, parent_sid), None
+        flight = ctx.flight
+        tracing = flight.enabled and trace_id >= 0
+        obs = ctx.obs
+        wall0 = time.perf_counter() if (tracing or obs is not None) else 0.0
+        load = None
+        quarantined: tuple[str, ...] = ()
+        health = ctx.health
+        if mode == "dynamic":
+            load = self._load_snapshot()
+            if health is not None:
+                quarantined = health.excluded(src, dst, now=ctx.engine.now)
+        load_key: tuple = ()
+        if load is not None and not load.is_idle:
+            load_key = load.bucket_key()
+        epoch = health.epoch if health is not None else 0
+        key = graphs.key_for(
+            src, dst, nbytes, mode,
+            load_key=load_key, health_epoch=epoch, excluded=quarantined,
+        )
+        graph = graphs.get(key)
+        if graph is not None:
+            plan = graph.plan
+            wall = time.perf_counter() - wall0 if (tracing or obs is not None) else 0.0
+            if tracing:
+                flight.record(
+                    "plan.graph_hit",
+                    trace_id,
+                    parent_sid,
+                    attrs={
+                        "mode": mode,
+                        "paths": plan.num_active_paths,
+                        "predicted": plan.predicted_time,
+                        "wall_time_s": wall,
+                    },
+                    stage_value=wall,
+                )
+            if obs is not None:
+                from repro.core.planner import PathPlanner
+
+                obs.decisions.log_plan(
+                    plan,
+                    cache_hit=True,
+                    wall_time_s=wall,
+                    load_bucket=PathPlanner._plan_load_bucket(plan, load),
+                    trace_id=trace_id if tracing else -1,
+                    graph=True,
+                )
+                # a graph hit is a plan served from cache (the graph embeds
+                # it): keep the planner's serving counters truthful
+                m = obs.metrics
+                m.counter("planner.plans").inc()
+                m.counter("planner.cache_hits").inc()
+                m.counter("planner.graph_hits").inc()
+            return plan, graph
+        plan = self._make_plan(
+            src, dst, nbytes, mode, trace_id, parent_sid,
+            load=load, quarantined=quarantined,
+        )
+        graph = graphs.compile_and_store(key, plan, ctx.pipeline, health_epoch=epoch)
+        return plan, graph
+
     def _make_plan(
         self,
         src: int,
@@ -455,6 +558,9 @@ class CudaIpcModule:
         mode: str,
         trace_id: int = -1,
         parent_sid: int = -1,
+        *,
+        load=_UNSET,
+        quarantined=None,
     ) -> TransferPlan:
         """Obtain the mode's plan, recording a flight ``plan`` span.
 
@@ -472,7 +578,7 @@ class CudaIpcModule:
                 return self._single_path_plan(src, dst, nbytes)
             if mode == "static":
                 return self._static_plan(src, dst, nbytes)
-            return self._dynamic_plan(src, dst, nbytes)
+            return self._dynamic_plan(src, dst, nbytes, load=load, quarantined=quarantined)
         wall0 = time.perf_counter()
         flight.active_trace = trace_id
         try:
@@ -481,7 +587,9 @@ class CudaIpcModule:
             elif mode == "static":
                 plan = self._static_plan(src, dst, nbytes)
             else:
-                plan = self._dynamic_plan(src, dst, nbytes)
+                plan = self._dynamic_plan(
+                    src, dst, nbytes, load=load, quarantined=quarantined
+                )
         finally:
             flight.active_trace = -1
         wall = time.perf_counter() - wall0
@@ -499,35 +607,46 @@ class CudaIpcModule:
         )
         return plan
 
-    def _dynamic_plan(self, src: int, dst: int, nbytes: int) -> TransferPlan:
+    def _dynamic_plan(
+        self, src: int, dst: int, nbytes: int, *, load=_UNSET, quarantined=None
+    ) -> TransferPlan:
         """Planner invocation with quarantined paths excluded.
 
         Exclusions are part of the planner's cache key, so health-driven
         narrowing never serves a stale cached plan.  If quarantining left
         no candidate, fall back to the configured set — a quarantined path
         is still a better bet than failing outright.
+
+        ``load``/``quarantined`` arrive precomputed from
+        :meth:`_acquire_plan` (the graph-key probe); when unset they are
+        computed here, preserving the single health query per planning.
         """
         ctx = self.context
         cfg = ctx.config
         exclude = cfg.exclude_paths
-        load = self._load_snapshot()
+        if load is _UNSET:
+            load = self._load_snapshot()
         health = ctx.health
-        if health is not None:
-            quarantined = health.excluded(src, dst, now=ctx.engine.now)
-            if quarantined:
-                merged = tuple(sorted(set(exclude) | set(quarantined)))
-                try:
-                    return ctx.planner.plan(
-                        src,
-                        dst,
-                        nbytes,
-                        include_host=cfg.include_host,
-                        max_gpu_staged=cfg.max_gpu_staged,
-                        exclude=merged,
-                        load=load,
-                    )
-                except ValueError:
-                    pass  # everything quarantined: use the configured set
+        if quarantined is None:
+            quarantined = (
+                health.excluded(src, dst, now=ctx.engine.now)
+                if health is not None
+                else ()
+            )
+        if quarantined:
+            merged = tuple(sorted(set(exclude) | set(quarantined)))
+            try:
+                return ctx.planner.plan(
+                    src,
+                    dst,
+                    nbytes,
+                    include_host=cfg.include_host,
+                    max_gpu_staged=cfg.max_gpu_staged,
+                    exclude=merged,
+                    load=load,
+                )
+            except ValueError:
+                pass  # everything quarantined: use the configured set
         return ctx.planner.plan(
             src,
             dst,

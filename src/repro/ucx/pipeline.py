@@ -27,6 +27,7 @@ from repro.gpu.stream import Stream
 from repro.sim.engine import Engine, Event
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.transfer_graph import CompiledPath, TransferGraph
     from repro.obs import Observability
 
 #: Precomputed flight-span kind strings for the common fan-outs, so the
@@ -47,6 +48,14 @@ def _path_kind(path_index: int) -> str:
     if path_index < _KIND_CACHE_PATHS:
         return _PATH_KINDS[path_index]
     return f"pipeline.path[{path_index}]"
+
+
+#: Memoised chunk schedules, keyed ``(nbytes, k)``.  The split is pure and
+#: recomputed per path per transfer on the hot path; repeated traffic hits
+#: a handful of shapes.  Bounded so adversarial size streams cannot grow it;
+#: on overflow new shapes are computed without being cached.
+_CHUNK_MEMO: dict[tuple[int, int], list[int]] = {}
+_CHUNK_MEMO_CAP = 4096
 
 
 @dataclass(frozen=True)
@@ -123,6 +132,7 @@ class PipelineEngine:
         self.flight = flight  # FlightRecorder, wired by the context
         self._stream_pool: dict[tuple, Stream] = {}
         self.transfers_executed = 0
+        self.transfers_replayed = 0
         self.paths_executed = 0
         self.chunks_executed = 0
         self.paths_failed = 0
@@ -145,22 +155,29 @@ class PipelineEngine:
         *,
         tag: str = "",
         trace: tuple[int, int] = (-1, -1),
+        graph: "TransferGraph | None" = None,
     ) -> Event:
         """Run all path assignments concurrently; event carries the
         list of :class:`PathExecution` results (completion = slowest path,
         matching Eq. 4).  ``trace`` is the flight-recorder identity
-        (``trace_id, parent_sid``) the per-path spans attach under."""
+        (``trace_id, parent_sid``) the per-path spans attach under.
+        ``graph`` replays a compiled schedule — same ops, setup skipped."""
         active = plan.active_assignments
         if not active:
             done = self.engine.event()
             done.succeed([])
             return done
         self.transfers_executed += 1
+        if graph is not None:
+            self.transfers_replayed += 1
         procs = []
         for i, a in enumerate(active):
             procs.append(
                 self.engine.process(
-                    self._run_path(plan, a, tag, trace=trace, path_index=i),
+                    self._run_path(
+                        plan, a, tag, trace=trace, path_index=i,
+                        compiled=None if graph is None else graph.compiled_for(i),
+                    ),
                     name=f"path:{a.path.path_id}",
                 )
             )
@@ -174,6 +191,7 @@ class PipelineEngine:
         tag: str = "",
         deadline_factor: float | None = None,
         trace: tuple[int, int] = (-1, -1),
+        graph: "TransferGraph | None" = None,
     ) -> Event:
         """Run all paths and *settle* every one of them.
 
@@ -192,7 +210,7 @@ class PipelineEngine:
         order ``all_of`` would; only this wrapper process is added).
         """
         return self.engine.process(
-            self._settled_proc(plan, tag, deadline_factor, trace),
+            self._settled_proc(plan, tag, deadline_factor, trace, graph),
             name=f"settle:{tag or f'{plan.src}->{plan.dst}'}",
         )
 
@@ -202,17 +220,23 @@ class PipelineEngine:
         tag: str,
         deadline_factor: float | None,
         trace: tuple[int, int] = (-1, -1),
+        graph: "TransferGraph | None" = None,
     ):
         active = plan.active_assignments
         if not active:
             return SettledExecution()
         self.transfers_executed += 1
+        if graph is not None:
+            self.transfers_replayed += 1
         t0 = self.engine.now
         entries: list[tuple[PathAssignment, Event, _PathProgress]] = []
         for i, a in enumerate(active):
             progress = _PathProgress()
             proc = self.engine.process(
-                self._run_path(plan, a, tag, progress, trace=trace, path_index=i),
+                self._run_path(
+                    plan, a, tag, progress, trace=trace, path_index=i,
+                    compiled=None if graph is None else graph.compiled_for(i),
+                ),
                 name=f"path:{a.path.path_id}",
             )
             proc.add_callback(
@@ -326,6 +350,7 @@ class PipelineEngine:
         *,
         trace: tuple[int, int] = (-1, -1),
         path_index: int = 0,
+        compiled: "CompiledPath | None" = None,
     ):
         start = self.engine.now
         label = f"{tag}/{a.path.path_id}" if tag else a.path.path_id
@@ -338,9 +363,12 @@ class PipelineEngine:
         finals: list = []
         try:
             if not a.path.is_staged:
-                stream = self._stream(
-                    (plan.src, plan.dst, a.path.path_id, "direct"), plan.src
-                )
+                if compiled is not None:
+                    stream = self._stream(compiled.stream_keys[0], plan.src)
+                else:
+                    stream = self._stream(
+                        (plan.src, plan.dst, a.path.path_id, "direct"), plan.src
+                    )
                 done = self.runtime.copy_on_hop_async(
                     a.path.hops[0], a.nbytes, stream, tag=f"{label}:direct"
                 )
@@ -358,27 +386,43 @@ class PipelineEngine:
                     trace if traced else None, path_index, finals,
                 )
 
-            # Staged path: three-step chunk loop over two streams.
+            # Staged path: three-step chunk loop over two streams.  A
+            # compiled schedule resolves the same values without the
+            # per-transfer derivation; the op sequence is identical, down
+            # to the tag strings (``label + suffix`` == the f-strings).
             hop1, hop2 = a.path.hops
-            stage_dev = a.path.via if a.path.via is not None else plan.src
-            s1 = self._stream((plan.src, plan.dst, a.path.path_id, "h1"), plan.src)
-            s2 = self._stream((plan.src, plan.dst, a.path.path_id, "h2"), stage_dev)
-            epsilon = self.runtime.sync_cost(via_gpu=a.path.via is not None)
-
-            chunks = self._chunk_sizes(a.nbytes, a.chunks)
+            if compiled is not None:
+                s1 = self._stream(compiled.stream_keys[0], compiled.stream_devices[0])
+                s2 = self._stream(compiled.stream_keys[1], compiled.stream_devices[1])
+                epsilon = compiled.epsilon
+                chunks = compiled.chunk_sizes
+            else:
+                stage_dev = a.path.via if a.path.via is not None else plan.src
+                s1 = self._stream((plan.src, plan.dst, a.path.path_id, "h1"), plan.src)
+                s2 = self._stream((plan.src, plan.dst, a.path.path_id, "h2"), stage_dev)
+                epsilon = self.runtime.sync_cost(via_gpu=a.path.via is not None)
+                chunks = self._chunk_sizes(a.nbytes, a.chunks)
             for c, chunk_bytes in enumerate(chunks):
+                if compiled is not None:
+                    h1_tag = label + compiled.h1_suffixes[c]
+                    ev_name = label + compiled.event_suffixes[c]
+                    sync_label = label + compiled.sync_suffixes[c]
+                    h2_tag = label + compiled.h2_suffixes[c]
+                else:
+                    h1_tag = f"{label}:h1:{c}"
+                    ev_name = f"{label}:c{c}"
+                    sync_label = f"{label}:sync:{c}"
+                    h2_tag = f"{label}:h2:{c}"
                 # Step 1: source -> staging location.
-                self.runtime.copy_on_hop_async(
-                    hop1, chunk_bytes, s1, tag=f"{label}:h1:{c}"
-                )
-                arrived = self.runtime.create_event(f"{label}:c{c}")
+                self.runtime.copy_on_hop_async(hop1, chunk_bytes, s1, tag=h1_tag)
+                arrived = self.runtime.create_event(ev_name)
                 arrived.record(s1)
                 # Step 2: synchronization point on the staging device.
                 s2.wait_event(arrived)
-                s2.delay(epsilon, label=f"{label}:sync:{c}")
+                s2.delay(epsilon, label=sync_label)
                 # Step 3: staging location -> destination.
                 final = self.runtime.copy_on_hop_async(
-                    hop2, chunk_bytes, s2, tag=f"{label}:h2:{c}"
+                    hop2, chunk_bytes, s2, tag=h2_tag
                 )
                 if progress is not None:
                     final.add_callback(
@@ -494,6 +538,7 @@ class PipelineEngine:
         """Structured run statistics, pulled by a metrics collector."""
         return {
             "transfers_executed": self.transfers_executed,
+            "transfers_replayed": self.transfers_replayed,
             "paths_executed": self.paths_executed,
             "chunks_executed": self.chunks_executed,
             "paths_failed": self.paths_failed,
@@ -505,7 +550,7 @@ class PipelineEngine:
     # ------------------------------------------------------------------
     @staticmethod
     def _chunk_sizes(nbytes: int, k: int) -> list[int]:
-        """Split ``nbytes`` into ``k`` near-equal positive chunks.
+        """Split ``nbytes`` into ``k`` near-equal positive chunks (memoised).
 
         Zero-byte requests never reach path execution (the planner's
         ``active_assignments`` filters empty shares), so an empty or
@@ -513,9 +558,15 @@ class PipelineEngine:
         """
         if nbytes <= 0:
             raise ValueError(f"cannot chunk a {nbytes}-byte transfer")
-        k = max(1, min(k, nbytes))
-        base, rem = divmod(nbytes, k)
-        return [base + (1 if i < rem else 0) for i in range(k)]
+        key = (nbytes, k)
+        sizes = _CHUNK_MEMO.get(key)
+        if sizes is None:
+            k = max(1, min(k, nbytes))
+            base, rem = divmod(nbytes, k)
+            sizes = [base + (1 if i < rem else 0) for i in range(k)]
+            if len(_CHUNK_MEMO) < _CHUNK_MEMO_CAP:
+                _CHUNK_MEMO[key] = sizes
+        return sizes
 
 
 __all__ = [

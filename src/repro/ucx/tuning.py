@@ -62,6 +62,11 @@ class TransportConfig:
     # and the measured overhead stays under the perfsuite's 3% gate.
     flight_recorder: bool = True
     flight_capacity: int = 65_536  # span ring slots
+    # Compiled transfer graphs (see DESIGN.md §5g).  On by default: replay
+    # is pure observation (bit-identical timelines), so the flag exists
+    # only for certification runs and A/B benchmarking.
+    transfer_graphs: bool = True
+    graph_cache_capacity: int = 256  # compiled graphs kept per context
 
     def __post_init__(self) -> None:
         if self.rndv_threshold < 0:
@@ -84,6 +89,8 @@ class TransportConfig:
             raise ValueError("coalesce_threshold must be >= 0")
         if self.flight_capacity < 1:
             raise ValueError("flight_capacity must be >= 1")
+        if self.graph_cache_capacity < 1:
+            raise ValueError("graph_cache_capacity must be >= 1")
         total = sum(s.fraction for s in self.static_shares)
         if self.static_shares and abs(total - 1.0) > 1e-6:
             raise ValueError(f"static shares must sum to 1, got {total}")
@@ -123,9 +130,12 @@ class TransportConfig:
             sequential_initiation=flag("UCX_MP_SEQ_INIT", True),
             contention_aware=flag("UCX_MP_CONTENTION_AWARE", False),
             flight_recorder=flag("UCX_MP_FLIGHT_RECORDER", True),
+            transfer_graphs=flag("UCX_MP_TRANSFER_GRAPHS", True),
         )
         if "UCX_MP_FLIGHT_CAPACITY" in env:
             cfg = cfg.with_(flight_capacity=int(env["UCX_MP_FLIGHT_CAPACITY"]))
+        if "UCX_MP_GRAPH_CACHE" in env:
+            cfg = cfg.with_(graph_cache_capacity=int(env["UCX_MP_GRAPH_CACHE"]))
         if "UCX_MP_MAX_GPU_STAGED" in env:
             cfg = cfg.with_(max_gpu_staged=int(env["UCX_MP_MAX_GPU_STAGED"]))
         if "UCX_MP_EXCLUDE" in env:
