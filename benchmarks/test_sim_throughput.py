@@ -19,6 +19,10 @@ performance floor:
 * the always-on flight recorder taxes a mixed-size transfer workload by
   <3% (the ISSUE-7 gate, measured as the median of paired on/off
   latency ratios over adjacent identical transfer blocks);
+* the overload scenario (4x offered load + mid-run LinkDown under a
+  bounded admission queue) keeps the queue bounded, admitted p99 within
+  the scenario bound, sheds a real fraction of work, and passes the
+  invariant sanitizer (the ISSUE-9 gate);
 * no gated series regressed >30% against the committed baseline
   (``benchmarks/results/perf_baseline.json``).
 """
@@ -92,6 +96,22 @@ def test_graph_replay_speedup_floor(suite):
     assert replay["warm_replays_per_sec"] > replay["cold_setups_per_sec"]
     # the warm arm really replayed: every op after warmup was a cache hit
     assert replay["cache"]["hits"] >= replay["ops"]
+
+
+def test_overload_scenario_gates(suite):
+    overload = suite["overload"]
+    # ISSUE 9 acceptance: at 4x offered load with a mid-run LinkDown the
+    # admission queue stays bounded, admitted p99 holds the scenario bound
+    # (headroom >= 1), work is genuinely shed (exact fraction), and every
+    # invariant (byte conservation, no orphaned flows/streams) holds.
+    assert overload["peak_queue_depth"] <= overload["queue_limit"]
+    assert overload["p99_headroom"] >= 1.0
+    assert 0.0 < overload["shed_fraction"] < 1.0
+    assert overload["goodput_fraction"] > 0.0
+    assert overload["sanitizer_ok"]
+    assert overload["completed"] + overload["shed"] + overload["expired"] + (
+        overload["rejected"]
+    ) == overload["n_offered"]
 
 
 def test_tracing_overhead_budget(suite):

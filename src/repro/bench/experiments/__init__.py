@@ -10,6 +10,7 @@ OBS1–5    the five §5.2 observations as quantitative checks
 DRIFT     closed-loop recovery from injected link degradation
 CHAOS     fault injection + multi-path recovery scenarios
 CONTEND   contention-aware vs blind planning accuracy
+OVERLOAD  4x offered load + mid-run fault: shedding/deadlines
 ========  =====================================================
 """
 
@@ -32,6 +33,11 @@ from repro.bench.experiments.error_analysis import (
     prediction_error_table,
 )
 from repro.bench.experiments.observations import check_observations
+from repro.bench.experiments.overload import (
+    OverloadResult,
+    overload_config,
+    run_overload,
+)
 
 __all__ = [
     "run_fig4",
@@ -47,4 +53,7 @@ __all__ = [
     "ChaosResult",
     "run_contention",
     "ContentionReport",
+    "run_overload",
+    "OverloadResult",
+    "overload_config",
 ]

@@ -1,0 +1,342 @@
+"""OVERLOAD — the transfer service under sustained pressure plus faults.
+
+The chaos experiment asks "does one transfer survive a fault?"; this one
+asks the production question: what happens when transfers arrive *faster
+than the fabric can serve them* — 4x offered load by default — while a
+link dies mid-run?  The overload layer (DESIGN.md §5h) must keep the
+admission queue bounded (shed policies), fast-fail work whose deadline is
+provably unreachable, meter recovery retries through the shared budget,
+and account for every byte exactly.
+
+The scenario:
+
+1. measure the fault-free single-put duration T₀ (same anchoring idea as
+   chaos scenarios — all timing scales with message size);
+2. in a fresh simulation with ``max_inflight_per_pair=1`` (so the pair's
+   service rate is ~1/T₀), submit ``n`` puts at intervals of
+   ``T₀ / load_factor`` with per-put deadlines, an admission-queue limit,
+   overload thresholds, and retry budgets;
+3. hard-fail the pair's direct channel mid-run (anchored on T₀) and bring
+   it back after a few T₀, so recovery and the budget both engage;
+4. drain the engine, classify every submission (delivered / failed /
+   shed / expired / rejected), and run the invariant sanitizer.
+
+Everything derives from measured durations, fixed constants, and the
+caller's seed, so a (system, size, n, load_factor) tuple reproduces
+bit-identically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.bench.baselines import dynamic_config
+from repro.bench.runner import SystemSetup, get_setup
+from repro.gpu.errors import DeadlineUnsatisfiable, TransferShed
+from repro.runtime.sanitizer import SanitizerReport, check_invariants
+from repro.sim.faults import FaultSchedule, LinkDown, record_fault_spans
+from repro.units import MiB
+
+#: The shed policies a scenario can exercise (mirrors TransportConfig).
+SHED_POLICIES = ("reject-newest", "reject-cheapest", "tenant-fair")
+
+
+@dataclass(frozen=True)
+class OverloadResult:
+    """One overload scenario's complete accounting."""
+
+    system: str
+    nbytes: int
+    n_offered: int
+    load_factor: float
+    t0: float  # fault-free single-put duration
+    interval: float  # submission interval (t0 / load_factor)
+    queue_limit: int
+    deadline: float  # per-put relative deadline (timeout)
+    p99_bound: float  # admitted-latency bound the scenario asserts
+    shed_policy: str
+    channel: str  # faulted channel
+    fault_at: float
+    fault_duration: float
+    # outcome counts (from the manager's exact counters)
+    completed: int
+    failed: int
+    shed: int
+    expired: int
+    rejected: int
+    cancelled: int
+    # latency stats over *delivered* transfers (submit -> completion)
+    admitted_p50: float
+    admitted_p99: float
+    admitted_max: float
+    peak_queue_depth: int
+    submits_during_fault: int
+    duration: float  # simulated end-to-end scenario time
+    overload: dict  # governor snapshot
+    retry_budget: dict  # budget snapshot
+    recovery: dict  # cuda_ipc recovery stats
+    sanitizer: SanitizerReport | None
+    bytes_ledger: dict = field(default_factory=dict)
+
+    @property
+    def shed_fraction(self) -> float:
+        """Exact fraction of offered work not admitted to completion
+        (shed + expired + rejected over offered)."""
+        return (self.shed + self.expired + self.rejected) / self.n_offered
+
+    @property
+    def goodput_fraction(self) -> float:
+        return self.completed / self.n_offered
+
+    @property
+    def queue_bounded(self) -> bool:
+        return self.peak_queue_depth <= self.queue_limit
+
+    @property
+    def p99_within_bound(self) -> bool:
+        return self.admitted_p99 <= self.p99_bound
+
+    @property
+    def conserved(self) -> bool:
+        return self.sanitizer is None or self.sanitizer.ok
+
+    def describe(self) -> str:
+        lines = [
+            f"OVERLOAD {self.system}: {self.n_offered} x {self.nbytes} B "
+            f"at {self.load_factor:g}x offered load "
+            f"(interval {self.interval * 1e6:.1f}us, T0 {self.t0 * 1e6:.1f}us)",
+            f"  fault: {self.channel} down [{self.fault_at * 1e6:.1f}us, "
+            f"+{self.fault_duration * 1e6:.1f}us); "
+            f"{self.submits_during_fault} submissions raced it",
+            f"  outcomes: {self.completed} delivered, {self.shed} shed, "
+            f"{self.expired} expired, {self.rejected} rejected, "
+            f"{self.failed} failed"
+            + (f", {self.cancelled} cancelled" if self.cancelled else ""),
+            f"  shed fraction: {self.shed_fraction:.4f} exactly "
+            f"(goodput {self.goodput_fraction:.4f})",
+            f"  admitted latency: p50 {self.admitted_p50 * 1e6:.1f}us, "
+            f"p99 {self.admitted_p99 * 1e6:.1f}us "
+            f"(bound {self.p99_bound * 1e6:.1f}us: "
+            f"{'OK' if self.p99_within_bound else 'VIOLATED'})",
+            f"  queue: peak {self.peak_queue_depth} / limit {self.queue_limit} "
+            f"({'bounded' if self.queue_bounded else 'UNBOUNDED'}); "
+            f"governor {self.overload.get('transitions', 0)} transition(s), "
+            f"final state {self.overload.get('state', 'n/a')}",
+            f"  retry budget: {self.retry_budget.get('consumed', 0)} consumed, "
+            f"{self.retry_budget.get('denied', 0)} denied "
+            f"(capacity {self.retry_budget.get('total_capacity')})",
+        ]
+        if self.sanitizer is not None:
+            lines.append(f"  {self.sanitizer.describe()}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "system": self.system,
+            "nbytes": self.nbytes,
+            "n_offered": self.n_offered,
+            "load_factor": self.load_factor,
+            "t0": self.t0,
+            "interval": self.interval,
+            "queue_limit": self.queue_limit,
+            "deadline": self.deadline,
+            "p99_bound": self.p99_bound,
+            "shed_policy": self.shed_policy,
+            "channel": self.channel,
+            "fault_at": self.fault_at,
+            "fault_duration": self.fault_duration,
+            "outcomes": {
+                "completed": self.completed,
+                "failed": self.failed,
+                "shed": self.shed,
+                "expired": self.expired,
+                "rejected": self.rejected,
+                "cancelled": self.cancelled,
+            },
+            "shed_fraction": self.shed_fraction,
+            "goodput_fraction": self.goodput_fraction,
+            "admitted_p50": self.admitted_p50,
+            "admitted_p99": self.admitted_p99,
+            "admitted_max": self.admitted_max,
+            "peak_queue_depth": self.peak_queue_depth,
+            "queue_bounded": self.queue_bounded,
+            "p99_within_bound": self.p99_within_bound,
+            "submits_during_fault": self.submits_during_fault,
+            "duration": self.duration,
+            "overload": self.overload,
+            "retry_budget": self.retry_budget,
+            "recovery": self.recovery,
+            "bytes": self.bytes_ledger,
+            "sanitizer": (
+                {"ok": self.sanitizer.ok, "violations": self.sanitizer.violations}
+                if self.sanitizer is not None
+                else None
+            ),
+        }
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not sorted_values:
+        return math.inf
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+def overload_config(
+    base=None,
+    *,
+    queue_limit: int = 8,
+    shed_policy: str = "reject-newest",
+    pressured_depth: int = 3,
+    shedding_depth: int = 6,
+    retry_budget_total: int | None = 8,
+    retry_budget_per_pair: int | None = 4,
+):
+    """The scenario's transport config: serialized pair + overload layer."""
+    config = base if base is not None else dynamic_config()
+    return config.with_(
+        max_inflight_per_pair=1,
+        admission_queue_limit=queue_limit,
+        shed_policy=shed_policy,
+        overload_pressured_depth=pressured_depth,
+        overload_shedding_depth=shedding_depth,
+        retry_budget_total=retry_budget_total,
+        retry_budget_per_pair=retry_budget_per_pair,
+    )
+
+
+def run_overload(
+    system: str = "beluga",
+    *,
+    nbytes: int = 8 * MiB,
+    n: int = 48,
+    load_factor: float = 4.0,
+    src: int = 0,
+    dst: int = 1,
+    queue_limit: int = 8,
+    shed_policy: str = "reject-newest",
+    deadline_slack: float = 12.0,
+    p99_bound_factor: float | None = None,
+    fault: bool = True,
+    sanitize: bool = True,
+    keep_context: bool = False,
+) -> OverloadResult:
+    """Run the chaos+overload scenario; see module docstring.
+
+    ``deadline_slack`` sets each put's relative deadline to
+    ``deadline_slack * T₀``; ``p99_bound_factor`` the admitted-latency
+    bound in units of T₀ (default ``deadline_slack + 4`` — deadline
+    admission plus one recovery's worth of execution headroom).  With
+    ``fault=False`` the link stays up (pure-overload ablation).
+    """
+    if n < 2:
+        raise ValueError("need at least 2 offered transfers")
+    if load_factor <= 0:
+        raise ValueError("load_factor must be > 0")
+    setup: SystemSetup = get_setup(system)
+    channel = setup.topology.direct_hop(src, dst)[0]
+    config = overload_config(
+        queue_limit=queue_limit, shed_policy=shed_policy
+    )
+
+    # Step 1: fault-free baseline with the same config (so T₀ prices the
+    # serialized pair exactly as the scenario will run it).
+    env = setup.env(config, observe=True)
+    engine, ctx, _comm = env.fresh()
+    baseline = engine.run(until=ctx.put(src, dst, nbytes, tag="ov-base"))
+    t0 = baseline.duration
+    if t0 <= 0 or not math.isfinite(t0):
+        raise ValueError("degenerate baseline duration")
+
+    interval = t0 / load_factor
+    deadline = deadline_slack * t0
+    bound_factor = (
+        p99_bound_factor if p99_bound_factor is not None else deadline_slack + 4.0
+    )
+    p99_bound = bound_factor * t0
+    fault_at = 0.3 * n * interval
+    fault_duration = 6.0 * t0
+
+    # Step 2: the overloaded run.
+    env = setup.env(config, observe=True)
+    engine, ctx, _comm = env.fresh()
+    schedule = FaultSchedule()
+    if fault:
+        schedule.add(LinkDown(channel, at=fault_at, duration=fault_duration))
+        schedule.attach(ctx.runtime.fabric)
+
+    submissions: list[tuple[int, float]] = []  # (index, submit time)
+    events: list = []
+
+    def submit(i: int) -> None:
+        submissions.append((i, engine.now))
+        events.append(
+            ctx.put(src, dst, nbytes, tag=f"ov{i}", timeout=deadline)
+        )
+
+    for i in range(n):
+        engine.schedule_fn(i * interval, submit, i)
+    engine.run()
+    if fault:
+        record_fault_spans(schedule, ctx.obs.spans, clip_end=engine.now)
+
+    # Step 3: classify.  Manager counters are authoritative (exact); the
+    # per-event pass extracts admitted latencies and cross-checks types.
+    durations: list[float] = []
+    failed_exec = 0
+    for (i, at), ev in zip(submissions, events):
+        if not ev.triggered:
+            raise RuntimeError(f"submission {i} never settled")
+        if ev.ok:
+            durations.append(ev.value.end - at)
+        elif not isinstance(ev._exception, (TransferShed, DeadlineUnsatisfiable)):
+            failed_exec += 1
+    durations.sort()
+
+    manager = ctx.transfers
+    stats = manager.stats_snapshot()
+    sanitizer = check_invariants(ctx, raise_on_violation=False) if sanitize else None
+    during_fault = sum(
+        1 for _i, at in submissions if schedule.active_at(at)
+    ) if fault else 0
+
+    result = OverloadResult(
+        system=system,
+        nbytes=nbytes,
+        n_offered=n,
+        load_factor=load_factor,
+        t0=t0,
+        interval=interval,
+        queue_limit=queue_limit,
+        deadline=deadline,
+        p99_bound=p99_bound,
+        shed_policy=shed_policy,
+        channel=channel,
+        fault_at=fault_at if fault else math.nan,
+        fault_duration=fault_duration if fault else 0.0,
+        completed=stats["completed"],
+        failed=stats["failed"],
+        shed=stats["shed"],
+        expired=stats["expired"],
+        rejected=stats["rejected"],
+        cancelled=stats["cancelled"],
+        admitted_p50=_percentile(durations, 0.50),
+        admitted_p99=_percentile(durations, 0.99),
+        admitted_max=durations[-1] if durations else math.inf,
+        peak_queue_depth=stats["peak_queue_depth"],
+        submits_during_fault=during_fault,
+        duration=engine.now,
+        overload=stats["overload"],
+        retry_budget=stats["retry_budget"],
+        recovery=ctx.cuda_ipc.stats_snapshot()["recovery"],
+        sanitizer=sanitizer,
+        bytes_ledger=stats["bytes"],
+    )
+    if keep_context:
+        object.__setattr__(result, "_context", ctx)
+    return result
+
+
+__all__ = ["OverloadResult", "SHED_POLICIES", "overload_config", "run_overload"]

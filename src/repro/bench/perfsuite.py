@@ -23,6 +23,11 @@ machine-readable ``BENCH_sim.json``:
 * **fault_recovery** — the CHAOS headline: simulated recovery time of a
   mid-transfer LinkDown vs the fault-free run and vs restarting the whole
   transfer over the surviving paths.
+* **overload** — the OVERLOAD headline: 4x offered load plus a mid-run
+  LinkDown against a bounded admission queue with deadlines and retry
+  budgets.  The committed series (goodput fraction, exact shed fraction,
+  admitted-p99 headroom against the scenario bound) is simulated-time and
+  deterministic.
 * **tracing_overhead** — the flight recorder's on-by-default tax: the
   median of paired recorder-on/recorder-off latency ratios over adjacent
   identical mixed-size transfer blocks.  The <3 % budget is gated in
@@ -50,7 +55,7 @@ from repro.sim.engine import Engine
 from repro.sim.fabric import Fabric
 from repro.units import MiB
 
-PERF_SUITE_VERSION = 4
+PERF_SUITE_VERSION = 5
 
 #: Series compared against the baseline by :func:`check_regression`:
 #: (json path, human label).  All are "higher is better" throughputs.
@@ -62,6 +67,8 @@ GATED_SERIES = (
     (("planner", "cold_plans_per_sec"), "cold (cache-miss) planner plans"),
     (("graph_replay", "warm_replays_per_sec"), "warm graph replays"),
     (("graph_replay", "speedup_replay_vs_cold"), "graph replay setup speedup"),
+    (("overload", "goodput_fraction"), "overload goodput fraction"),
+    (("overload", "p99_headroom"), "overload admitted-p99 headroom"),
 )
 
 
@@ -465,6 +472,49 @@ def bench_fault_recovery(*, quick: bool = False) -> dict:
     }
 
 
+def bench_overload(*, quick: bool = False) -> dict:
+    """OVERLOAD series: 4x load + mid-run LinkDown against the SLO layer.
+
+    Every headline number except ``wall_s`` is simulated and deterministic
+    (the scenario derives all timing from the measured fault-free T₀ and a
+    fixed seed), so the committed series reproduces bit-for-bit.  Both
+    gated series are higher-is-better: ``goodput_fraction`` (delivered /
+    offered under 4x load) and ``p99_headroom`` (scenario latency bound
+    over the achieved admitted p99 — >= 1 means the bound held).
+    """
+    from repro.bench.experiments.overload import run_overload
+
+    t0 = time.perf_counter()
+    r = run_overload(
+        nbytes=(4 if quick else 8) * MiB, n=24 if quick else 48
+    )
+    return {
+        "nbytes": r.nbytes,
+        "n_offered": r.n_offered,
+        "load_factor": r.load_factor,
+        "t0_s": r.t0,
+        "channel": r.channel,
+        "completed": r.completed,
+        "shed": r.shed,
+        "expired": r.expired,
+        "rejected": r.rejected,
+        "goodput_fraction": r.goodput_fraction,
+        "shed_fraction": r.shed_fraction,
+        "admitted_p50_s": r.admitted_p50,
+        "admitted_p99_s": r.admitted_p99,
+        "p99_bound_s": r.p99_bound,
+        "p99_headroom": (
+            r.p99_bound / r.admitted_p99 if r.admitted_p99 > 0 else 0.0
+        ),
+        "peak_queue_depth": r.peak_queue_depth,
+        "queue_limit": r.queue_limit,
+        "retry_budget_consumed": r.retry_budget.get("consumed", 0),
+        "governor_transitions": r.overload.get("transitions", 0),
+        "sanitizer_ok": r.conserved,
+        "wall_s": time.perf_counter() - t0,
+    }
+
+
 def _tracing_ratio_samples(pairs_n: int, warmup: int) -> tuple[list[float], int, int]:
     """Paired per-block overhead ratios from one environment.
 
@@ -569,6 +619,7 @@ def run_suite(*, quick: bool = False, jobs: int | None = None) -> dict:
         "planner": bench_planner(quick=quick),
         "graph_replay": bench_graph_replay(quick=quick),
         "fault_recovery": bench_fault_recovery(quick=quick),
+        "overload": bench_overload(quick=quick),
         "tracing_overhead": bench_tracing_overhead(quick=quick),
     }
 
@@ -700,6 +751,7 @@ __all__ = [
     "bench_planner",
     "bench_graph_replay",
     "bench_fault_recovery",
+    "bench_overload",
     "bench_tracing_overhead",
     "run_suite",
     "check_regression",

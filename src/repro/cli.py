@@ -17,6 +17,7 @@ Usage::
     python -m repro.cli critical-path        # per-transfer bottleneck report
     python -m repro.cli chaos                # fault injection recovery report
     python -m repro.cli contention           # contention-aware planning report
+    python -m repro.cli overload             # 4x load + fault: shedding/deadlines
     python -m repro.cli slowest              # slowest traced transfers (chaos run)
     python -m repro.cli timeline 1           # one trace's causal span tree
 """
@@ -52,6 +53,7 @@ from repro.bench.experiments.contention import (
     run_contention,
 )
 from repro.bench.experiments.drift_recovery import run_drift_recovery
+from repro.bench.experiments.overload import SHED_POLICIES, run_overload
 from repro.bench.omb import osu_bw
 from repro.bench.parallel import default_jobs
 from repro.bench.runner import (
@@ -373,6 +375,60 @@ def cmd_chaos(args):
         print(f"wrote {args.output}", file=sys.stderr)
 
 
+def cmd_overload(args):
+    """Overload scenario: 4x offered load + mid-run link fault.
+
+    Prints the full accounting (exact shed fraction, admitted p99 vs
+    bound, governor transitions, retry-budget spend) and exits non-zero
+    if the queue bound, latency bound, or any sanitizer invariant is
+    violated — so CI can script it directly.  ``--scenario`` picks the
+    shed policy; ``-o`` writes the JSON report; ``--dump PREFIX`` writes
+    the usual artifact bundle.
+    """
+    system = _systems(args)[0]
+    setup = get_setup(system)
+    src, dst = _gpu_pair(args, setup)
+    policy = args.scenario or "reject-newest"
+    if policy not in SHED_POLICIES:
+        raise SystemExit(
+            f"error: unknown shed policy {policy!r} "
+            f"(have {', '.join(SHED_POLICIES)})"
+        )
+    result = run_overload(
+        system,
+        nbytes=_nbytes(args, default=4 * MiB if args.quick else 8 * MiB),
+        n=24 if args.quick else 48,
+        src=src,
+        dst=dst,
+        shed_policy=policy,
+        keep_context=True,
+    )
+    print(result.describe())
+    if args.dump:
+        for path in dump_artifacts(args.dump, result._context):
+            print(f"wrote {path}", file=sys.stderr)
+    if args.output:
+        with open(args.output, "w") as f:
+            json.dump(result.to_dict(), f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    problems = []
+    if not result.queue_bounded:
+        problems.append(
+            f"queue unbounded: peak {result.peak_queue_depth} > "
+            f"limit {result.queue_limit}"
+        )
+    if not result.p99_within_bound:
+        problems.append(
+            f"admitted p99 {result.admitted_p99:.6g}s exceeds bound "
+            f"{result.p99_bound:.6g}s"
+        )
+    if result.sanitizer is not None and not result.sanitizer.ok:
+        problems.append(result.sanitizer.describe())
+    if problems:
+        raise SystemExit("error: overload scenario failed:\n  " + "\n  ".join(problems))
+
+
 def cmd_contention(args):
     """Contention-aware vs blind planning error over concurrent patterns.
 
@@ -539,6 +595,7 @@ COMMANDS = {
     "drift": cmd_drift,
     "chaos": cmd_chaos,
     "contention": cmd_contention,
+    "overload": cmd_overload,
     "critical-path": cmd_critical_path,
     "graphs": cmd_graphs,
     "slowest": cmd_slowest,
@@ -588,9 +645,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--scenario",
-        choices=["linkdown", "flap", "stall", *sorted(CONTENTION_PATTERNS)],
+        choices=[
+            "linkdown",
+            "flap",
+            "stall",
+            *sorted(CONTENTION_PATTERNS),
+            *SHED_POLICIES,
+        ],
         help="chaos: run only this fault scenario; contention: run only "
-        "this traffic pattern (default: all)",
+        "this traffic pattern; overload: the shed policy (default: all / "
+        "reject-newest)",
     )
     parser.add_argument(
         "--seed",

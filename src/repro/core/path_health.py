@@ -177,6 +177,23 @@ class PathHealthRegistry:
                 out.append(path_id)
         return tuple(sorted(out))
 
+    def unhealthy_paths(self, src: int, dst: int) -> tuple[str, ...]:
+        """Pure read: paths currently quarantined or probing, sorted.
+
+        Unlike :meth:`excluded` this has NO probe side effect, so the
+        deadline-admission predictor can price a pair's surviving capacity
+        without perturbing probe scheduling (which must stay driven by the
+        transfers that actually execute).
+        """
+        if not self._entries:
+            return ()
+        return tuple(sorted(
+            path_id
+            for (s, d, path_id), e in self._entries.items()
+            if (s, d) == (src, dst)
+            and e.state in (PathHealth.QUARANTINED, PathHealth.PROBING)
+        ))
+
     # ------------------------------------------------------------------
     def _quarantine(
         self, key: tuple[int, int, str], e: _Entry, now: float, *, count: bool

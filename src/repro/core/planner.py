@@ -196,6 +196,7 @@ class PathPlanner:
         exclude: Iterable[str] = (),
         use_cache: bool = True,
         load: "LoadSnapshot | None" = None,
+        degrade: int = 0,
     ) -> TransferPlan:
         """Plan a transfer over all (non-excluded) available paths.
 
@@ -205,14 +206,24 @@ class PathPlanner:
         hop's busiest channel, and the bucketed form joins the cache key —
         equal buckets produce identical plans, so caching stays sound.  An
         idle snapshot keys (and plans) identically to ``load=None``.
+
+        ``degrade`` requests a *cheaper* plan under overload (DESIGN.md
+        §5h): level 1 caps the candidate set at two paths (direct first)
+        and quarters the chunk budget, level 2 collapses to a single path
+        with one chunk.  The level joins the cache key, so degraded and
+        full plans coexist in the cache.
         """
         obs = self.obs
         t0 = time.perf_counter() if obs is not None else 0.0
         exclude = tuple(sorted(exclude))
+        degrade = max(0, min(int(degrade), 2))
         if load is not None and load.is_idle:
             load = None
         load_key = () if load is None else load.bucket_key()
-        key = (src, dst, int(nbytes), include_host, max_gpu_staged, exclude, load_key)
+        key = (
+            src, dst, int(nbytes), include_host, max_gpu_staged, exclude,
+            load_key, degrade,
+        )
         if use_cache:
             cached = self.cache.get(key)
             if cached is not None:
@@ -235,7 +246,12 @@ class PathPlanner:
             max_gpu_staged=max_gpu_staged,
             exclude=exclude,
         )
-        plan = self.plan_for_paths(src, dst, nbytes, paths, load=load)
+        if degrade:
+            paths = self._degrade_paths(paths, degrade)
+        plan = self.plan_for_paths(
+            src, dst, nbytes, paths, load=load,
+            max_chunks=self._degraded_max_chunks(degrade),
+        )
         if use_cache:
             self.cache.put(key, plan)
         if obs is not None:
@@ -295,6 +311,26 @@ class PathPlanner:
         )
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _degrade_paths(
+        paths: Sequence[PathDescriptor], degrade: int
+    ) -> list[PathDescriptor]:
+        """Degradation ladder over the candidate set (direct path first)."""
+        direct = [p for p in paths if p.kind is PathKind.DIRECT]
+        rest = [p for p in paths if p.kind is not PathKind.DIRECT]
+        ordered = direct + rest
+        limit = 1 if degrade >= 2 else 2
+        return ordered[:limit]
+
+    def _degraded_max_chunks(self, degrade: int) -> int | None:
+        """Chunk-budget cap per degrade level (None = planner default)."""
+        if degrade <= 0:
+            return None
+        if degrade == 1:
+            return max(1, self.max_chunks // 4)
+        return 1
+
+    # ------------------------------------------------------------------
     def plan_for_paths(
         self,
         src: int,
@@ -303,16 +339,20 @@ class PathPlanner:
         paths: Sequence[PathDescriptor],
         *,
         load: "LoadSnapshot | None" = None,
+        max_chunks: int | None = None,
     ) -> TransferPlan:
         """Algorithm 1 body for an explicit candidate-path list.
 
         With ``load`` given, per-hop bandwidths are derated by
         ``β/(1 + load)`` before θ* is solved (see :meth:`plan`).
+        ``max_chunks`` overrides the planner-wide chunk budget (used by
+        the overload degradation ladder).
         """
         if nbytes < 0:
             raise ValueError("negative message size")
         if not paths:
             raise ValueError("at least one path required")
+        chunk_budget = max_chunks if max_chunks is not None else self.max_chunks
         if load is not None and load.is_idle:
             load = None
         if nbytes == 0:
@@ -387,7 +427,7 @@ class PathPlanner:
                     else self._phi_for(params, nbytes, theta)
                 )
                 chunks = linear_chunks(
-                    params, theta, nbytes, phi, max_chunks=self.max_chunks,
+                    params, theta, nbytes, phi, max_chunks=chunk_budget,
                 )
             else:
                 chunks = 1

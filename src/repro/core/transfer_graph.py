@@ -200,11 +200,17 @@ class GraphCache:
         load_key: tuple = (),
         health_epoch: int = 0,
         excluded: tuple[str, ...] = (),
+        degrade: int = 0,
     ) -> tuple:
-        """The graph cache key (see module docstring for the semantics)."""
+        """The graph cache key (see module docstring for the semantics).
+
+        ``degrade`` is the overload-degradation level the plan was built
+        at (DESIGN.md §5h): degraded graphs must never replay for healthy
+        submits (and vice versa), so the level joins the key.
+        """
         return (
             src, dst, int(nbytes), mode, self.config_hash,
-            load_key, health_epoch, excluded,
+            load_key, health_epoch, excluded, degrade,
         )
 
     def get(self, key: tuple) -> TransferGraph | None:

@@ -37,6 +37,66 @@ class TransferTimeout(GpuError):
         )
 
 
+class DeadlineUnsatisfiable(GpuError):
+    """Admission control determined the deadline cannot be met.
+
+    Raised at submit time when the model-predicted completion time (plus
+    current queue wait) already exceeds the caller's deadline, and again
+    by the expiry sweep when a queued transfer's deadline passes before
+    it is dispatched.
+    """
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        deadline: float,
+        *,
+        predicted: float | None = None,
+        message: str | None = None,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.deadline = deadline
+        self.predicted = predicted
+        detail = (
+            f" (predicted completion {predicted:.6g}s)" if predicted is not None else ""
+        )
+        super().__init__(
+            message
+            or f"GPU{src}->GPU{dst} cannot meet deadline t={deadline:.6g}s{detail}"
+        )
+
+
+class TransferShed(GpuError):
+    """The transfer was shed by backpressure (admission queue full)."""
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        *,
+        policy: str = "reject-newest",
+        message: str | None = None,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.policy = policy
+        super().__init__(
+            message
+            or f"GPU{src}->GPU{dst} shed under overload (policy={policy})"
+        )
+
+
+class TransferCancelled(GpuError):
+    """The transfer was cancelled by the caller before dispatch."""
+
+    def __init__(self, src: int, dst: int, message: str | None = None) -> None:
+        self.src = src
+        self.dst = dst
+        super().__init__(message or f"GPU{src}->GPU{dst} transfer cancelled")
+
+
 class PathUnavailable(GpuError):
     """No surviving path can carry the transfer (recovery exhausted)."""
 
@@ -63,5 +123,8 @@ __all__ = [
     "StreamError",
     "LinkFailure",
     "TransferTimeout",
+    "DeadlineUnsatisfiable",
+    "TransferShed",
+    "TransferCancelled",
     "PathUnavailable",
 ]

@@ -1,5 +1,6 @@
-"""Transfer service runtime: TransferManager + load accounting."""
+"""Transfer service runtime: TransferManager + load accounting + overload."""
 
+from repro.runtime.budget import RetryBudget, TokenBucket
 from repro.runtime.load import (
     IDLE_SNAPSHOT,
     MAX_LOAD_BUCKET,
@@ -7,6 +8,12 @@ from repro.runtime.load import (
     LoadSnapshot,
     LoadTracker,
     load_bucket,
+)
+from repro.runtime.overload import OverloadGovernor, OverloadState
+from repro.runtime.sanitizer import (
+    InvariantViolation,
+    SanitizerReport,
+    check_invariants,
 )
 from repro.runtime.service import TransferManager
 
@@ -18,4 +25,11 @@ __all__ = [
     "load_bucket",
     "IDLE_SNAPSHOT",
     "MAX_LOAD_BUCKET",
+    "RetryBudget",
+    "TokenBucket",
+    "OverloadGovernor",
+    "OverloadState",
+    "check_invariants",
+    "SanitizerReport",
+    "InvariantViolation",
 ]

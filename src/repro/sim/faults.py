@@ -208,6 +208,11 @@ class FaultSchedule:
         merged.sort(key=lambda w: (w.start, w.channel, w.kind))
         return tuple(merged)
 
+    def active_at(self, t: float) -> tuple[FaultWindow, ...]:
+        """Windows covering time ``t`` (overload reports use this to label
+        which submissions raced a fault)."""
+        return tuple(w for w in self.windows() if w.start <= t < w.end)
+
     def describe(self) -> str:
         lines = [f"fault schedule: {len(self.injectors)} injector(s)"]
         for w in self.windows():

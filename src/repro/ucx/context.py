@@ -146,9 +146,24 @@ class UCXContext:
             self._endpoints[key] = ep
         return ep
 
-    def put(self, src: int, dst: int, nbytes: int, *, tag: str = ""):
-        """Submit a transfer to the service (value: PutResult)."""
-        return self.transfers.submit(src, dst, nbytes, tag=tag)
+    def put(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        *,
+        tag: str = "",
+        deadline: float | None = None,
+        timeout: float | None = None,
+    ):
+        """Submit a transfer to the service (value: PutResult).
+
+        ``deadline`` is an absolute engine time, ``timeout`` is relative to
+        now; at most one may be given (both default off).
+        """
+        return self.transfers.submit(
+            src, dst, nbytes, tag=tag, deadline=deadline, timeout=timeout
+        )
 
     def reconfigure(self, config: TransportConfig) -> None:
         """Swap the transport configuration (planner knobs follow).

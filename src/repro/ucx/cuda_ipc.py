@@ -78,19 +78,37 @@ class CudaIpcModule:
         self.rerouted_bytes = 0
 
     # ------------------------------------------------------------------
-    def put(self, src: int, dst: int, nbytes: int, *, tag: str = "") -> Event:
+    def put(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        *,
+        tag: str = "",
+        deadline: float | None = None,
+        timeout: float | None = None,
+    ) -> Event:
         """One-sided PUT; returns the process event (value: PutResult).
 
         Every put routes through the context's :class:`TransferManager`
         (admission control, coalescing, load tracking); the manager calls
         back into :meth:`start_put` to issue the actual transfer.
+        ``deadline``/``timeout`` (absolute/relative completion bound) flow
+        through to the manager's deadline-aware admission (DESIGN.md §5h).
         """
         if nbytes < 0:
             raise ValueError("negative PUT size")
         manager = getattr(self.context, "transfers", None)
         if manager is None:  # standalone module (no service wired): direct
-            return self.start_put(src, dst, nbytes, tag=tag)
-        return manager.submit(src, dst, nbytes, tag=tag)
+            if deadline is not None and timeout is not None:
+                raise ValueError("pass deadline or timeout, not both")
+            deadline_at = deadline if deadline is not None else (
+                self.context.engine.now + timeout if timeout is not None else None
+            )
+            return self.start_put(src, dst, nbytes, tag=tag, deadline_at=deadline_at)
+        return manager.submit(
+            src, dst, nbytes, tag=tag, deadline=deadline, timeout=timeout
+        )
 
     def start_put(
         self,
@@ -100,6 +118,7 @@ class CudaIpcModule:
         *,
         tag: str = "",
         trace: tuple[int, int] = (-1, -1),
+        deadline_at: float | None = None,
     ) -> Event:
         """Issue a PUT directly, bypassing the transfer service.
 
@@ -110,6 +129,8 @@ class CudaIpcModule:
         ``trace`` is the flight-recorder identity (``trace_id, root_sid``)
         minted at admission; a standalone call (no manager in front) mints
         its own trace here so every put has a complete story.
+        ``deadline_at`` is the absolute completion bound the recovery loop
+        honours (backoff sleeps are capped at the remaining budget).
         """
         self.puts_issued += 1
         flight = self.context.flight
@@ -121,7 +142,10 @@ class CudaIpcModule:
             )
             owns_root = True
         ev = self.context.engine.process(
-            self._put_proc(src, dst, nbytes, tag, self.puts_issued, trace_id, root_sid),
+            self._put_proc(
+                src, dst, nbytes, tag, self.puts_issued, trace_id, root_sid,
+                deadline_at=deadline_at,
+            ),
             name=f"put:{src}->{dst}",
         )
         if owns_root:
@@ -149,6 +173,7 @@ class CudaIpcModule:
         seq: int,
         trace_id: int = -1,
         root_sid: int = -1,
+        deadline_at: float | None = None,
     ):
         ctx = self.context
         cfg = ctx.config
@@ -212,7 +237,18 @@ class CudaIpcModule:
                 mode = "static"
             else:
                 mode = "dynamic"
-        plan, graph = self._acquire_plan(src, dst, nbytes, mode, trace_id, root_sid)
+        # Overload coupling: the manager's governor may request a cheaper
+        # plan (degrade level joins the plan/graph cache keys), and its
+        # retry budget meters the recovery loop below.  Both are inert at
+        # the defaults (degrade 0, budget disabled).
+        manager = getattr(ctx, "transfers", None)
+        degrade = manager.degrade_level if manager is not None else 0
+        budget = manager.retry_budget if manager is not None else None
+        if budget is not None and not budget.enabled:
+            budget = None
+        plan, graph = self._acquire_plan(
+            src, dst, nbytes, mode, trace_id, root_sid, degrade=degrade
+        )
 
         # ------------------------------------------------------------------
         # Execute, recovering from path failures/timeouts: each round runs
@@ -230,8 +266,8 @@ class CudaIpcModule:
         # this one moves bytes see the fabric as loaded.  Acquired *after*
         # planning (a transfer never derates against itself), released as
         # soon as the round settles (recovery replans against current load).
-        manager = getattr(ctx, "transfers", None)
         tracker = manager.load if manager is not None else None
+        budget_fallback_used = False
         exec_start = engine.now
         retries = 0
         delivered = 0
@@ -320,6 +356,61 @@ class CudaIpcModule:
             retries += 1
             self.retries_total += 1
             backoff = cfg.retry_backoff * (2 ** (retries - 1))
+            budget_scale = 0  # >0 once registered for collective backoff
+            if budget is not None:
+                if budget.try_consume((src, dst), engine.now):
+                    # Collective backoff: scale by how many transfers are
+                    # concurrently in recovery (a lone retry keeps the
+                    # classic schedule; a storm of N spreads over ~N windows).
+                    budget_scale = budget.begin_backoff()
+                    backoff *= budget_scale
+                else:
+                    if obs is not None:
+                        obs.metrics.counter("overload.budget_denied").inc()
+                    if budget_fallback_used:
+                        # Budget dry and the fallback already ran: fail fast
+                        # instead of burning more backoff on a dead pair.
+                        self.puts_failed += 1
+                        if obs is not None:
+                            obs.metrics.counter("recovery.puts_failed").inc()
+                        raise PathUnavailable(
+                            src,
+                            dst,
+                            failed=tuple(sorted(failed_paths)),
+                            message=(
+                                f"put {label!r}: retry budget exhausted with "
+                                f"{remaining} of {nbytes} bytes undelivered "
+                                f"(failed paths: {', '.join(sorted(failed_paths))})"
+                            ),
+                        )
+                    # One unmetered host-staging fallback replan, no backoff:
+                    # the widened-exclusion ladder in _replan already prefers
+                    # host staging once GPU paths have failed.
+                    budget_fallback_used = True
+                    backoff = 0.0
+                    if obs is not None:
+                        obs.metrics.counter("overload.budget_fallbacks").inc()
+            if deadline_at is not None:
+                # Deadline-aware backoff: never sleep past the remaining
+                # budget, and fail immediately once it is gone.
+                remaining_t = deadline_at - engine.now
+                if remaining_t <= 0:
+                    self.puts_failed += 1
+                    if obs is not None:
+                        obs.metrics.counter("recovery.puts_failed").inc()
+                        obs.metrics.counter("deadline.recovery_timeouts").inc()
+                    if budget_scale:
+                        budget.end_backoff()
+                    raise TransferTimeout(
+                        f"put:{src}->{dst}",
+                        deadline_at,
+                        message=(
+                            f"put {label!r}: deadline t={deadline_at:.6g}s "
+                            f"exhausted during recovery ({remaining} of "
+                            f"{nbytes} bytes undelivered)"
+                        ),
+                    )
+                backoff = min(backoff, remaining_t)
             if tracing:
                 retry_sid = flight.begin(
                     f"recovery.retry[{retries}]",
@@ -334,6 +425,8 @@ class CudaIpcModule:
                 exec_parent = retry_sid
             if backoff > 0:
                 yield engine.timeout(backoff)
+            if budget_scale:
+                budget.end_backoff()
             if tracing:
                 wall0 = time.perf_counter()
                 flight.active_trace = trace_id
@@ -470,6 +563,7 @@ class CudaIpcModule:
         mode: str,
         trace_id: int = -1,
         parent_sid: int = -1,
+        degrade: int = 0,
     ):
         """Resolve the transfer's plan, trying compiled-graph replay first.
 
@@ -477,6 +571,11 @@ class CudaIpcModule:
         disabled (or no cache is wired), otherwise the replayed *or*
         freshly compiled :class:`~repro.core.transfer_graph.TransferGraph`
         the execution rounds should drive.
+
+        ``degrade`` is the overload ladder level: it joins both cache keys,
+        and at level 2 graph compilation is skipped entirely — the shedding
+        state wants the cheapest possible issue path, not an amortisable
+        artifact for a load pattern that should be transient.
 
         The load snapshot and the health query are taken exactly ONCE here
         and threaded into the cold path: :meth:`PathHealthRegistry.excluded`
@@ -487,8 +586,13 @@ class CudaIpcModule:
         """
         ctx = self.context
         graphs = getattr(ctx, "graphs", None)
-        if graphs is None or not ctx.config.transfer_graphs:
-            return self._make_plan(src, dst, nbytes, mode, trace_id, parent_sid), None
+        if graphs is None or not ctx.config.transfer_graphs or degrade >= 2:
+            return (
+                self._make_plan(
+                    src, dst, nbytes, mode, trace_id, parent_sid, degrade=degrade
+                ),
+                None,
+            )
         flight = ctx.flight
         tracing = flight.enabled and trace_id >= 0
         obs = ctx.obs
@@ -507,6 +611,7 @@ class CudaIpcModule:
         key = graphs.key_for(
             src, dst, nbytes, mode,
             load_key=load_key, health_epoch=epoch, excluded=quarantined,
+            degrade=degrade,
         )
         graph = graphs.get(key)
         if graph is not None:
@@ -545,7 +650,7 @@ class CudaIpcModule:
             return plan, graph
         plan = self._make_plan(
             src, dst, nbytes, mode, trace_id, parent_sid,
-            load=load, quarantined=quarantined,
+            load=load, quarantined=quarantined, degrade=degrade,
         )
         graph = graphs.compile_and_store(key, plan, ctx.pipeline, health_epoch=epoch)
         return plan, graph
@@ -561,6 +666,7 @@ class CudaIpcModule:
         *,
         load=_UNSET,
         quarantined=None,
+        degrade: int = 0,
     ) -> TransferPlan:
         """Obtain the mode's plan, recording a flight ``plan`` span.
 
@@ -578,7 +684,9 @@ class CudaIpcModule:
                 return self._single_path_plan(src, dst, nbytes)
             if mode == "static":
                 return self._static_plan(src, dst, nbytes)
-            return self._dynamic_plan(src, dst, nbytes, load=load, quarantined=quarantined)
+            return self._dynamic_plan(
+                src, dst, nbytes, load=load, quarantined=quarantined, degrade=degrade
+            )
         wall0 = time.perf_counter()
         flight.active_trace = trace_id
         try:
@@ -588,7 +696,8 @@ class CudaIpcModule:
                 plan = self._static_plan(src, dst, nbytes)
             else:
                 plan = self._dynamic_plan(
-                    src, dst, nbytes, load=load, quarantined=quarantined
+                    src, dst, nbytes, load=load, quarantined=quarantined,
+                    degrade=degrade,
                 )
         finally:
             flight.active_trace = -1
@@ -608,7 +717,14 @@ class CudaIpcModule:
         return plan
 
     def _dynamic_plan(
-        self, src: int, dst: int, nbytes: int, *, load=_UNSET, quarantined=None
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        *,
+        load=_UNSET,
+        quarantined=None,
+        degrade: int = 0,
     ) -> TransferPlan:
         """Planner invocation with quarantined paths excluded.
 
@@ -644,6 +760,7 @@ class CudaIpcModule:
                     max_gpu_staged=cfg.max_gpu_staged,
                     exclude=merged,
                     load=load,
+                    degrade=degrade,
                 )
             except ValueError:
                 pass  # everything quarantined: use the configured set
@@ -655,6 +772,7 @@ class CudaIpcModule:
             max_gpu_staged=cfg.max_gpu_staged,
             exclude=exclude,
             load=load,
+            degrade=degrade,
         )
 
     def _replan(

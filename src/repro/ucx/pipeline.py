@@ -325,6 +325,27 @@ class PipelineEngine:
             yield self.engine.timeout(recheck)
 
     # ------------------------------------------------------------------
+    def leaked_streams(self) -> list[tuple[tuple, str]]:
+        """Pooled streams unusable for future work (sanitizer check).
+
+        At quiescence every pooled stream should be alive and idle: a
+        destroyed stream still pooled would raise on the next enqueue, a
+        poisoned one (failed tail — sticky error never cleaned up by
+        :meth:`reset_path_streams`) would fail it instantly, and a busy one
+        means work outlived the run.  Returns ``(pool_key, reason)`` pairs.
+        """
+        leaked: list[tuple[tuple, str]] = []
+        for key, stream in self._stream_pool.items():
+            tail = stream._tail
+            if stream._destroyed:
+                leaked.append((key, "destroyed"))
+            elif tail is not None and tail.triggered and not tail.ok:
+                leaked.append((key, "poisoned"))
+            elif not stream.idle:
+                leaked.append((key, "busy"))
+        return leaked
+
+    # ------------------------------------------------------------------
     def reset_path_streams(self, src: int, dst: int, path_id: str) -> int:
         """Drop a path's pooled streams after a failure.
 

@@ -67,6 +67,20 @@ class TransportConfig:
     # only for certification runs and A/B benchmarking.
     transfer_graphs: bool = True
     graph_cache_capacity: int = 256  # compiled graphs kept per context
+    # Overload resilience (see DESIGN.md §5h).  All off by default: with no
+    # queue limit, no overload thresholds, and no retry budgets the service
+    # behaves exactly as before (bit-identical timelines).
+    admission_queue_limit: int | None = None  # max queued requests (None=unbounded)
+    shed_policy: str = "reject-newest"  # |"reject-cheapest"|"tenant-fair"
+    overload_pressured_depth: int | None = None  # queue depth entering PRESSURED
+    overload_shedding_depth: int | None = None  # queue depth entering SHEDDING
+    overload_wait_pressured: float | None = None  # EWMA queue-wait entering PRESSURED
+    overload_exit_fraction: float = 0.5  # hysteresis: exit at frac x enter threshold
+    overload_ewma_alpha: float = 0.2  # EWMA smoothing for observed queue wait
+    degrade_under_pressure: bool = True  # ask planner for cheaper plans when hot
+    retry_budget_total: int | None = None  # global retry tokens (None=unlimited)
+    retry_budget_per_pair: int | None = None  # per-(src,dst) retry tokens
+    retry_budget_refill: float = 0.0  # tokens per simulated second
 
     def __post_init__(self) -> None:
         if self.rndv_threshold < 0:
@@ -91,6 +105,37 @@ class TransportConfig:
             raise ValueError("flight_capacity must be >= 1")
         if self.graph_cache_capacity < 1:
             raise ValueError("graph_cache_capacity must be >= 1")
+        if self.admission_queue_limit is not None and self.admission_queue_limit < 1:
+            raise ValueError("admission_queue_limit must be >= 1 (or None)")
+        if self.shed_policy not in ("reject-newest", "reject-cheapest", "tenant-fair"):
+            raise ValueError(
+                "shed_policy must be one of 'reject-newest', 'reject-cheapest', "
+                f"'tenant-fair'; got {self.shed_policy!r}"
+            )
+        if self.overload_pressured_depth is not None and self.overload_pressured_depth < 1:
+            raise ValueError("overload_pressured_depth must be >= 1 (or None)")
+        if self.overload_shedding_depth is not None and self.overload_shedding_depth < 1:
+            raise ValueError("overload_shedding_depth must be >= 1 (or None)")
+        if (
+            self.overload_pressured_depth is not None
+            and self.overload_shedding_depth is not None
+            and self.overload_shedding_depth < self.overload_pressured_depth
+        ):
+            raise ValueError(
+                "overload_shedding_depth must be >= overload_pressured_depth"
+            )
+        if self.overload_wait_pressured is not None and self.overload_wait_pressured <= 0:
+            raise ValueError("overload_wait_pressured must be > 0 (or None)")
+        if not 0.0 < self.overload_exit_fraction < 1.0:
+            raise ValueError("overload_exit_fraction must be in (0, 1)")
+        if not 0.0 < self.overload_ewma_alpha <= 1.0:
+            raise ValueError("overload_ewma_alpha must be in (0, 1]")
+        if self.retry_budget_total is not None and self.retry_budget_total < 0:
+            raise ValueError("retry_budget_total must be >= 0 (or None)")
+        if self.retry_budget_per_pair is not None and self.retry_budget_per_pair < 0:
+            raise ValueError("retry_budget_per_pair must be >= 0 (or None)")
+        if self.retry_budget_refill < 0:
+            raise ValueError("retry_budget_refill must be >= 0")
         total = sum(s.fraction for s in self.static_shares)
         if self.static_shares and abs(total - 1.0) > 1e-6:
             raise ValueError(f"static shares must sum to 1, got {total}")
@@ -123,6 +168,14 @@ class TransportConfig:
                 return False
             raise ValueError(f"{key}: cannot parse boolean {raw!r}")
 
+        def conv(key: str, parse):
+            """Parse env[key], naming the offending variable on bad input."""
+            raw = env[key]
+            try:
+                return parse(raw)
+            except ValueError as exc:
+                raise ValueError(f"{key}: cannot parse {raw!r} ({exc})") from None
+
         cfg = cls(
             multipath=flag("UCX_MP_ENABLE", True),
             include_host=flag("UCX_MP_INCLUDE_HOST", True),
@@ -133,38 +186,56 @@ class TransportConfig:
             transfer_graphs=flag("UCX_MP_TRANSFER_GRAPHS", True),
         )
         if "UCX_MP_FLIGHT_CAPACITY" in env:
-            cfg = cfg.with_(flight_capacity=int(env["UCX_MP_FLIGHT_CAPACITY"]))
+            cfg = cfg.with_(flight_capacity=conv("UCX_MP_FLIGHT_CAPACITY", int))
         if "UCX_MP_GRAPH_CACHE" in env:
-            cfg = cfg.with_(graph_cache_capacity=int(env["UCX_MP_GRAPH_CACHE"]))
+            cfg = cfg.with_(graph_cache_capacity=conv("UCX_MP_GRAPH_CACHE", int))
         if "UCX_MP_MAX_GPU_STAGED" in env:
-            cfg = cfg.with_(max_gpu_staged=int(env["UCX_MP_MAX_GPU_STAGED"]))
+            cfg = cfg.with_(max_gpu_staged=conv("UCX_MP_MAX_GPU_STAGED", int))
         if "UCX_MP_EXCLUDE" in env:
             items = tuple(
                 s.strip() for s in env["UCX_MP_EXCLUDE"].split(",") if s.strip()
             )
             cfg = cfg.with_(exclude_paths=items)
         if "UCX_MP_MAX_CHUNKS" in env:
-            cfg = cfg.with_(max_chunks=int(env["UCX_MP_MAX_CHUNKS"]))
+            cfg = cfg.with_(max_chunks=conv("UCX_MP_MAX_CHUNKS", int))
         if "UCX_RNDV_THRESH" in env:
-            cfg = cfg.with_(rndv_threshold=parse_size(env["UCX_RNDV_THRESH"]))
+            cfg = cfg.with_(rndv_threshold=conv("UCX_RNDV_THRESH", parse_size))
         if "UCX_MP_MAX_RETRIES" in env:
-            cfg = cfg.with_(max_path_retries=int(env["UCX_MP_MAX_RETRIES"]))
+            cfg = cfg.with_(max_path_retries=conv("UCX_MP_MAX_RETRIES", int))
         if "UCX_MP_DEADLINE_FACTOR" in env:
             raw = env["UCX_MP_DEADLINE_FACTOR"].strip().lower()
             cfg = cfg.with_(
-                deadline_factor=None if raw in ("", "none", "off") else float(raw)
+                deadline_factor=None
+                if raw in ("", "none", "off")
+                else conv("UCX_MP_DEADLINE_FACTOR", float)
             )
 
         def cap(key: str) -> int | None:
             raw = env[key].strip().lower()
-            return None if raw in ("", "none", "off", "inf") else int(raw)
+            return None if raw in ("", "none", "off", "inf") else conv(key, int)
 
         if "UCX_MP_MAX_INFLIGHT" in env:
             cfg = cfg.with_(max_inflight_total=cap("UCX_MP_MAX_INFLIGHT"))
         if "UCX_MP_MAX_INFLIGHT_PAIR" in env:
             cfg = cfg.with_(max_inflight_per_pair=cap("UCX_MP_MAX_INFLIGHT_PAIR"))
         if "UCX_MP_COALESCE" in env:
-            cfg = cfg.with_(coalesce_threshold=parse_size(env["UCX_MP_COALESCE"]))
+            cfg = cfg.with_(coalesce_threshold=conv("UCX_MP_COALESCE", parse_size))
+        if "UCX_MP_QUEUE_LIMIT" in env:
+            cfg = cfg.with_(admission_queue_limit=cap("UCX_MP_QUEUE_LIMIT"))
+        if "UCX_MP_SHED_POLICY" in env:
+            cfg = cfg.with_(shed_policy=env["UCX_MP_SHED_POLICY"].strip())
+        if "UCX_MP_PRESSURED_DEPTH" in env:
+            cfg = cfg.with_(overload_pressured_depth=cap("UCX_MP_PRESSURED_DEPTH"))
+        if "UCX_MP_SHEDDING_DEPTH" in env:
+            cfg = cfg.with_(overload_shedding_depth=cap("UCX_MP_SHEDDING_DEPTH"))
+        if "UCX_MP_RETRY_BUDGET" in env:
+            cfg = cfg.with_(retry_budget_total=cap("UCX_MP_RETRY_BUDGET"))
+        if "UCX_MP_RETRY_BUDGET_PAIR" in env:
+            cfg = cfg.with_(retry_budget_per_pair=cap("UCX_MP_RETRY_BUDGET_PAIR"))
+        if "UCX_MP_RETRY_BUDGET_REFILL" in env:
+            cfg = cfg.with_(
+                retry_budget_refill=conv("UCX_MP_RETRY_BUDGET_REFILL", float)
+            )
         return cfg
 
 

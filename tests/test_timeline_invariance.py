@@ -304,6 +304,68 @@ def test_graph_replay_bit_identical_across_recovery():
     _assert_bit_identical(on, off)
 
 
+def _overload_workload(extra: dict, *, fault_at: float | None = None):
+    """The `_ucx_workload` mix with overload-layer knobs layered on top."""
+    from repro.sim.faults import FaultSchedule as Schedule
+    from repro.topology import systems
+    from repro.ucx import TransportConfig, UCXContext
+
+    eng = Engine()
+    tracer = Tracer()
+    topo = systems.beluga()
+    ctx = UCXContext(
+        eng,
+        topo,
+        config=TransportConfig(max_inflight_per_pair=1, **extra),
+        tracer=tracer,
+    )
+    if fault_at is not None:
+        Schedule(
+            LinkDown(topo.direct_hop(0, 1)[0], at=fault_at, duration=1e3)
+        ).attach(ctx.runtime.fabric)
+    events = [
+        ctx.put(0, 1, nbytes, tag=f"t{i}")
+        for i, nbytes in enumerate((MiB, 8 * MiB, 2 * MiB))
+    ]
+    events.append(ctx.put(2, 3, 4 * MiB, tag="x"))
+    results = tuple(eng.run(until=ev) for ev in events)
+    return eng, tracer, results
+
+
+_ARMED_IDLE = dict(
+    admission_queue_limit=10**6,
+    overload_pressured_depth=10**6,
+    overload_shedding_depth=10**6,
+    overload_wait_pressured=1e9,
+    retry_budget_total=10**6,
+    retry_budget_per_pair=10**6,
+)
+
+
+def test_overload_armed_but_idle_bit_identical():
+    """ISSUE 9 acceptance: the overload layer fully *armed* but never
+    triggered (huge thresholds and budgets) must leave the observable
+    timeline bit-identical to the default configuration."""
+    eng_a, tr_a, res_a = _overload_workload({})
+    eng_b, tr_b, res_b = _overload_workload(_ARMED_IDLE)
+    assert tr_a.records == tr_b.records
+    assert eng_a.now == eng_b.now
+    assert res_a == res_b
+
+
+def test_overload_armed_but_idle_bit_identical_across_recovery():
+    """Same certification through retry/replan: armed budgets must grant
+    every token and a lone backoff must see collective scale 1."""
+    _eng0, _tr0, res0 = _overload_workload({})
+    fault_at = res0[0].duration + 0.45 * res0[1].duration
+    eng_a, tr_a, res_a = _overload_workload({}, fault_at=fault_at)
+    eng_b, tr_b, res_b = _overload_workload(_ARMED_IDLE, fault_at=fault_at)
+    assert any(r.retries > 0 for r in res_a)  # the fault actually bit
+    assert tr_a.records == tr_b.records
+    assert eng_a.now == eng_b.now
+    assert res_a == res_b
+
+
 def test_generator_produces_contention_and_faults():
     """The scenarios genuinely contain what they claim to mix."""
     kinds = set()

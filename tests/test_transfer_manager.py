@@ -340,6 +340,98 @@ class TestObservabilityWiring:
         assert result.bandwidth == 0.0
 
 
+class TestCancellation:
+    """Satellite: queued transfers are cancellable and expirable without
+    stranding siblings or leaking load accounting."""
+
+    def test_cancel_queued_frees_slot_and_fails_event(self):
+        from repro.gpu.errors import TransferCancelled
+
+        cfg = TransportConfig(max_inflight_per_pair=1)
+        eng, ctx = make_ctx(config=cfg)
+        first = ctx.put(0, 1, 4 * MiB, tag="a")
+        victim = ctx.put(0, 1, 4 * MiB, tag="b")
+        third = ctx.put(0, 1, 4 * MiB, tag="c")
+        assert ctx.transfers.cancel(victim) is True
+        assert victim.triggered and not victim.ok
+        assert isinstance(victim._exception, TransferCancelled)
+        eng.run(until=eng.all_of([first, third]))
+        stats = ctx.transfers.stats_snapshot()
+        assert stats["cancelled"] == 1
+        assert stats["completed"] == 2
+        assert stats["queue_depth"] == 0
+        # the cancelled slot was freed: c ran right after a, not after b
+        assert third.value.start >= first.value.end
+
+    def test_cancel_dispatched_or_unknown_returns_false(self):
+        eng, ctx = make_ctx()
+        ev = ctx.put(0, 1, 4 * MiB, tag="d")  # dispatches immediately
+        assert ctx.transfers.cancel(ev) is False
+        eng.run(until=ev)
+        assert ctx.transfers.cancel(ev) is False  # completed: still False
+        assert ctx.transfers.cancelled == 0
+
+    def test_expiry_in_coalesce_group_does_not_strand_siblings(self):
+        from repro.gpu.errors import DeadlineUnsatisfiable
+
+        cfg = TransportConfig(
+            max_inflight_per_pair=1, coalesce_threshold=64 * KiB
+        )
+        eng, ctx = make_ctx(config=cfg)
+        big = ctx.put(0, 1, 8 * MiB, tag="big")
+        # A deadline generous enough to pass admission (predicted service
+        # time fits) but far shorter than the big head transfer it queues
+        # behind — so it expires in the queue, via the flush-hook sweep.
+        short = 3 * ctx.planner.predict_time(0, 1, 16 * KiB)
+        doomed = ctx.put(0, 1, 16 * KiB, tag="s0", timeout=short)
+        siblings = [
+            ctx.put(0, 1, 16 * KiB, tag=f"s{i}") for i in range(1, 4)
+        ]
+        eng.run()
+        assert big.ok
+        assert not doomed.ok
+        assert isinstance(doomed._exception, DeadlineUnsatisfiable)
+        for ev in siblings:
+            assert ev.ok
+            assert ev.value.nbytes == 16 * KiB
+        stats = ctx.transfers.stats_snapshot()
+        assert stats["expired"] == 1
+        # big + one merged dispatch for the surviving siblings: the
+        # expired member did not strand or split the coalesce group
+        assert stats["completed"] == 2
+        assert stats["coalesced_requests"] == 2
+        assert stats["queue_depth"] == 0
+
+    def test_load_idle_after_mass_cancellation(self):
+        from repro.runtime import check_invariants
+
+        cfg = TransportConfig(max_inflight_per_pair=1)
+        eng, ctx = make_ctx(config=cfg)
+        head = ctx.put(0, 1, 4 * MiB, tag="head")
+        queued = [ctx.put(0, 1, 4 * MiB, tag=f"q{i}") for i in range(5)]
+        for ev in queued:
+            assert ctx.transfers.cancel(ev) is True
+        eng.run(until=head)
+        eng.run()
+        assert ctx.transfers.load.is_idle
+        assert ctx.transfers.cancelled == 5
+        report = check_invariants(ctx)
+        assert report.ok
+
+    def test_cancelled_bytes_ledger_balances(self):
+        cfg = TransportConfig(max_inflight_per_pair=1)
+        eng, ctx = make_ctx(config=cfg)
+        ctx.put(0, 1, 4 * MiB, tag="h")
+        victim = ctx.put(0, 1, 2 * MiB, tag="v")
+        ctx.transfers.cancel(victim)
+        eng.run()
+        b = ctx.transfers.stats_snapshot()["bytes"]
+        assert b["submitted"] == 6 * MiB
+        assert b["delivered"] == 4 * MiB
+        assert b["cancelled"] == 2 * MiB
+        assert b["inflight"] == 0
+
+
 class TestZeroBandwidthRegression:
     """Satellite: zero-duration/zero-byte transfers report 0.0, never inf."""
 
